@@ -1,0 +1,110 @@
+// Command tensorkmc runs an AKMC simulation from an input deck, mirroring
+// the paper artifact's `tensorkmc -in input` invocation.
+//
+// Usage:
+//
+//	tensorkmc -in input [-quiet]
+//
+// The deck format is documented in internal/input. During the run the
+// tool reports simulated time, executed hops, and the Cu precipitation
+// observables (isolated Cu count, cluster count, largest cluster, number
+// density) at the requested number of snapshots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/input"
+)
+
+func main() {
+	inPath := flag.String("in", "", "input deck path (required)")
+	quiet := flag.Bool("quiet", false, "suppress snapshot lines; print only the final summary")
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tensorkmc -in <deck>")
+		os.Exit(2)
+	}
+	if err := run(*inPath, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "tensorkmc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, quiet bool) error {
+	deck, err := input.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := deck.Finish()
+	if err != nil {
+		return err
+	}
+	sim, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	fe, cu, vac := sim.Box().Count()
+	fmt.Printf("tensorkmc: %dx%dx%d cells (%d sites): %d Fe, %d Cu, %d vacancies\n",
+		cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], sim.Box().NumSites(), fe, cu, vac)
+	fmt.Printf("tensorkmc: T=%.0f K, r_cut=%.2f Å (N_local=%d, N_region=%d), duration %.3g s\n",
+		cfg.Temperature, cfg.Cutoff, sim.Tables.NLocal, sim.Tables.NRegion, deck.Duration)
+	if cfg.Ranks[0]*cfg.Ranks[1]*cfg.Ranks[2] > 1 {
+		fmt.Printf("tensorkmc: parallel %dx%dx%d ranks, t_stop=%.3g s\n",
+			cfg.Ranks[0], cfg.Ranks[1], cfg.Ranks[2], cfg.TStop)
+	}
+
+	snapshots := deck.Snapshots
+	if snapshots < 1 {
+		snapshots = 1
+	}
+	segment := deck.Duration / float64(snapshots)
+	start := time.Now()
+	for i := 1; i <= snapshots; i++ {
+		rep, err := sim.Run(segment, nil)
+		if err != nil {
+			return err
+		}
+		if !quiet || i == snapshots {
+			a := rep.Analysis
+			fmt.Printf("t=%.4g s  hops=%d  isolatedCu=%d  clusters=%d  maxCluster=%d  density=%.3g /m^3\n",
+				sim.Time(), rep.Hops, a.Isolated, a.Clusters, a.MaxSize, a.NumberDensity)
+		}
+		if deck.DumpFile != "" {
+			if err := dumpXYZ(sim, deck.DumpFile, i); err != nil {
+				return err
+			}
+		}
+	}
+	if deck.CheckpointFile != "" {
+		if err := sim.Box().SaveFile(deck.CheckpointFile); err != nil {
+			return err
+		}
+		fmt.Printf("tensorkmc: checkpoint written to %s\n", deck.CheckpointFile)
+	}
+	fmt.Printf("tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",
+		sim.Hops(), time.Since(start).Seconds(),
+		float64(sim.Hops())/time.Since(start).Seconds())
+	return nil
+}
+
+// dumpXYZ writes a solute snapshot "<base>.<n>.xyz" next to the
+// configured dump path.
+func dumpXYZ(sim *core.Simulation, base string, n int) error {
+	path := fmt.Sprintf("%s.%04d.xyz", base, n)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	comment := fmt.Sprintf("Time=%g", sim.Time())
+	if err := sim.Box().WriteXYZ(f, comment, true); err != nil {
+		return err
+	}
+	return f.Close()
+}

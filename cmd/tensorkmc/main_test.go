@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tensorkmc/internal/lattice"
+)
+
+// TestRunDeckEndToEnd drives the CLI's run path with a real deck,
+// including XYZ dumps, a checkpoint, and a restart from that checkpoint.
+func TestRunDeckEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "solute")
+	ckpt := filepath.Join(dir, "state.box")
+	deck := `
+cells        10 10 10
+cu           0.05
+vacancy      0.002
+duration     2e-8
+seed         5
+snapshots    2
+potential    eam
+dump         ` + dump + `
+checkpoint   ` + ckpt + `
+`
+	deckPath := filepath.Join(dir, "input")
+	if err := os.WriteFile(deckPath, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(deckPath, true); err != nil {
+		t.Fatal(err)
+	}
+	// Dumps and checkpoint must exist.
+	for _, p := range []string{dump + ".0001.xyz", dump + ".0002.xyz", ckpt} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("expected output %s: %v", p, err)
+		}
+	}
+	box, err := lattice.LoadBoxFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, cu, vac := box.Count()
+	if fe+cu+vac != 2000 || cu == 0 || vac == 0 {
+		t.Fatalf("checkpoint contents implausible: %d/%d/%d", fe, cu, vac)
+	}
+
+	// Restart from the checkpoint and continue.
+	deck2 := `
+restart      ` + ckpt + `
+duration     1e-8
+seed         6
+potential    eam
+`
+	deckPath2 := filepath.Join(dir, "input2")
+	if err := os.WriteFile(deckPath2, []byte(deck2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(deckPath2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingDeck(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope"), true); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+)
+
+func TestAnalyzeSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	box := lattice.NewBox(8, 8, 8, 2.87)
+	lattice.FillRandomAlloy(box, 0.05, 0.002, rng.New(1))
+	// A deliberate pair for the cluster stats.
+	box.Set(lattice.Vec{X: 4, Y: 4, Z: 4}, lattice.Cu)
+	box.Set(lattice.Vec{X: 5, Y: 5, Z: 5}, lattice.Cu)
+	snap := filepath.Join(dir, "state.box")
+	if err := box.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	xyz := filepath.Join(dir, "out.xyz")
+	if err := run(&sb, snap, 2, xyz, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"composition:", "clusters (2NN adjacency):", "size histogram", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(xyz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Cu ") {
+		t.Fatal("XYZ export missing Cu atoms")
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "/nonexistent.box", 2, "", false); err == nil {
+		t.Fatal("expected error")
+	}
+}

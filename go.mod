@@ -1,0 +1,3 @@
+module tensorkmc
+
+go 1.22

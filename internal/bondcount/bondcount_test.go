@@ -1,0 +1,147 @@
+package bondcount
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func stdEval() *Evaluator {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	return NewEvaluator(FeCu(), tb)
+}
+
+func TestFeCuUnmixing(t *testing.T) {
+	p := FeCu()
+	if p.UnmixingEnergy() <= 0 {
+		t.Fatalf("unmixing energy %v must be positive for precipitation", p.UnmixingEnergy())
+	}
+	if !strings.Contains(p.String(), "unmixing") {
+		t.Fatal("String() missing summary")
+	}
+}
+
+func TestPureFeSiteEnergy(t *testing.T) {
+	e := stdEval()
+	vet := e.Tb.NewVET()
+	for i := range vet {
+		vet[i] = lattice.Fe
+	}
+	// A bulk Fe site has 8 first and 6 second neighbours.
+	want := 0.5 * (8*(-0.65) + 6*(-0.33))
+	if got := e.SiteEnergy(vet, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bulk Fe site energy %v, want %v", got, want)
+	}
+}
+
+func TestVacancyRemovesBonds(t *testing.T) {
+	e := stdEval()
+	vet := e.Tb.NewVET()
+	for i := range vet {
+		vet[i] = lattice.Fe
+	}
+	before := e.SiteEnergy(vet, 1)
+	// Vacate the central site: site 1 is a 1NN of site 0.
+	vet[0] = lattice.Vacancy
+	after := e.SiteEnergy(vet, 1)
+	// Removing one attractive 1NN Fe–Fe bond (ε = −0.65) raises the
+	// site's half-bond energy by 0.325 eV.
+	if math.Abs((after-before)-0.325) > 1e-12 {
+		t.Fatalf("removing one 1NN bond changed site energy by %v, want +0.325", after-before)
+	}
+	if e.SiteEnergy(vet, 0) != 0 {
+		t.Fatal("vacancy must have zero energy")
+	}
+}
+
+// TestHopDeltaMatchesBoxEnergy validates region-based ΔE against the
+// independent whole-box bond sum.
+func TestHopDeltaMatchesBoxEnergy(t *testing.T) {
+	e := stdEval()
+	box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.2, 0.0, rng.New(3))
+	center := lattice.Vec{X: 12, Y: 12, Z: 12}
+	box.Set(center, lattice.Vacancy)
+	vet := e.Tb.NewVET()
+	e.Tb.FillVET(vet, center, box.Get)
+
+	initial, final, valid := e.HopEnergies(vet)
+	eBox := BoxEnergy(e.P, box)
+	for k := 0; k < 8; k++ {
+		if !valid[k] {
+			t.Fatalf("hop %d invalid", k)
+		}
+		hopped := box.Clone()
+		to := center.Add(lattice.NN1[k])
+		mover := hopped.Get(to)
+		hopped.Set(center, mover)
+		hopped.Set(to, lattice.Vacancy)
+		want := BoxEnergy(e.P, hopped) - eBox
+		got := final[k] - initial
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("hop %d: region ΔE %v vs box ΔE %v", k, got, want)
+		}
+	}
+}
+
+func TestEngineRunsOnBondModel(t *testing.T) {
+	box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.05, 0.002, rng.New(4))
+	fe0, cu0, vac0 := box.Count()
+	eng := kmc.NewEngine(box, stdEval(), units.ReactorTemperature, rng.New(5), kmc.Options{})
+	if n := eng.RunSteps(200); n != 200 {
+		t.Fatalf("executed %d steps", n)
+	}
+	fe1, cu1, vac1 := box.Count()
+	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
+		t.Fatal("species not conserved under bond-count model")
+	}
+}
+
+// TestBondModelDrivesClustering: the tabulated model must reproduce the
+// qualitative precipitation physics (Cu–Cu adjacency lowers energy).
+func TestBondModelDrivesClustering(t *testing.T) {
+	p := FeCu()
+	box := lattice.NewBox(8, 8, 8, units.LatticeConstantFe)
+	adj := box.Clone()
+	adj.Set(lattice.Vec{X: 4, Y: 4, Z: 4}, lattice.Cu)
+	adj.Set(lattice.Vec{X: 5, Y: 5, Z: 5}, lattice.Cu)
+	sep := box.Clone()
+	sep.Set(lattice.Vec{X: 4, Y: 4, Z: 4}, lattice.Cu)
+	sep.Set(lattice.Vec{X: 12, Y: 12, Z: 12}, lattice.Cu)
+	if BoxEnergy(p, adj) >= BoxEnergy(p, sep) {
+		t.Fatal("adjacent Cu pair not favoured")
+	}
+}
+
+func TestPureFeHopSymmetry(t *testing.T) {
+	e := stdEval()
+	vet := e.Tb.NewVET()
+	for i := range vet {
+		vet[i] = lattice.Fe
+	}
+	vet[0] = lattice.Vacancy
+	initial, final, valid := e.HopEnergies(vet)
+	for k := 0; k < 8; k++ {
+		if !valid[k] || math.Abs(final[k]-initial) > 1e-12 {
+			t.Fatalf("pure-Fe hop %d: ΔE = %v", k, final[k]-initial)
+		}
+	}
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too-narrow tables")
+		}
+	}()
+	// A cutoff below the 2NN distance leaves one shell only.
+	tb := encoding.New(units.LatticeConstantFe, 2.6)
+	NewEvaluator(FeCu(), tb)
+}

@@ -1,0 +1,250 @@
+// Package core assembles the TensorKMC simulation from its substrates:
+// the bcc lattice, the triple-encoding tables, a potential (neural
+// network or EAM), the vacancy-cached serial KMC engine, and the
+// sector-synchronised parallel engine. It is the layer the command-line
+// tools and examples drive.
+package core
+
+import (
+	"fmt"
+
+	"tensorkmc/internal/bondcount"
+	"tensorkmc/internal/cluster"
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/sublattice"
+	"tensorkmc/internal/units"
+)
+
+// PotentialKind selects the energy model.
+type PotentialKind int
+
+const (
+	// EAM uses the analytic embedded-atom potential (fast; also the
+	// synthetic-DFT oracle).
+	EAM PotentialKind = iota
+	// NNP uses a neural network potential (a *nnp.Potential must be
+	// supplied, e.g. loaded from a file trained by cmd/tkmc-train).
+	NNP
+	// BondCount uses the classic tabulated pair-interaction model — the
+	// pre-NNP AKMC parameterisation the paper's introduction contrasts
+	// against (fast, but with simplified microkinetics).
+	BondCount
+)
+
+// Config describes a simulation. Zero values take the paper's defaults
+// where meaningful.
+type Config struct {
+	// Cells is the box size in bcc unit cells per axis.
+	Cells [3]int
+	// LatticeConstant in Å (default 2.87, bcc Fe).
+	LatticeConstant float64
+	// CuFraction and VacancyFraction are atomic fractions (the paper's
+	// runs use 1.34 % Cu and 8×10⁻⁶ vacancies).
+	CuFraction      float64
+	VacancyFraction float64
+	// Temperature in kelvin (default 573, the RPV thermal-aging
+	// temperature).
+	Temperature float64
+	// Cutoff radius in Å (default 6.5).
+	Cutoff float64
+	// Seed drives the initial alloy and the trajectory.
+	Seed uint64
+
+	// Potential selects the energy model; Net must be set for NNP.
+	Potential PotentialKind
+	Net       *nnp.Potential
+
+	// Ranks is the parallel decomposition (each axis must divide
+	// Cells); all-zero or all-one means the serial engine.
+	Ranks [3]int
+	// TStop is the parallel sector quantum in seconds (default 2e-8).
+	TStop float64
+
+	// Engine options (ablations).
+	Options kmc.Options
+
+	// InitialBox, if non-nil, is used (cloned) instead of a random
+	// alloy fill — the checkpoint/restart path. Cells, LatticeConstant,
+	// CuFraction and VacancyFraction are then taken from the box.
+	InitialBox *lattice.Box
+}
+
+func (c *Config) applyDefaults() {
+	if c.LatticeConstant == 0 {
+		c.LatticeConstant = units.LatticeConstantFe
+	}
+	if c.Temperature == 0 {
+		c.Temperature = units.ReactorTemperature
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = units.CutoffStandard
+	}
+	if c.TStop == 0 {
+		c.TStop = sublattice.DefaultTStop
+	}
+}
+
+// parallel reports whether the configuration requests the sublattice
+// engine.
+func (c *Config) parallel() bool {
+	r := c.Ranks
+	return r[0]*r[1]*r[2] > 1
+}
+
+// Simulation is a configured TensorKMC run.
+type Simulation struct {
+	Cfg    Config
+	Tables *encoding.Tables
+
+	box     *lattice.Box
+	engine  *kmc.Engine // serial path
+	model   kmc.Model
+	mkMod   func() kmc.Model // per-rank factory for the parallel path
+	time    float64          // parallel-path clock
+	hops    int64            // parallel-path hop counter
+	segment uint64           // parallel-path run counter (fresh seeds per segment)
+}
+
+// New builds a simulation: allocates and fills the box, constructs the
+// encoding tables and the potential evaluator, and (for serial runs)
+// the engine.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.InitialBox != nil {
+		cfg.Cells = [3]int{cfg.InitialBox.Nx, cfg.InitialBox.Ny, cfg.InitialBox.Nz}
+		cfg.LatticeConstant = cfg.InitialBox.A
+	}
+	cfg.applyDefaults()
+	for i, n := range cfg.Cells {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: Cells[%d] = %d", i, n)
+		}
+	}
+	if cfg.CuFraction < 0 || cfg.VacancyFraction < 0 || cfg.CuFraction+cfg.VacancyFraction >= 1 {
+		return nil, fmt.Errorf("core: invalid composition Cu=%v vac=%v", cfg.CuFraction, cfg.VacancyFraction)
+	}
+	if cfg.Potential == NNP && cfg.Net == nil {
+		return nil, fmt.Errorf("core: NNP potential requires Net")
+	}
+	if cfg.Potential == NNP && cfg.Net.Desc.Rcut > cfg.Cutoff+1e-9 {
+		return nil, fmt.Errorf("core: potential cutoff %v exceeds table cutoff %v", cfg.Net.Desc.Rcut, cfg.Cutoff)
+	}
+
+	s := &Simulation{Cfg: cfg}
+	s.Tables = encoding.New(cfg.LatticeConstant, cfg.Cutoff)
+	if cfg.InitialBox != nil {
+		s.box = cfg.InitialBox.Clone()
+	} else {
+		s.box = lattice.NewBox(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.LatticeConstant)
+		lattice.FillRandomAlloy(s.box, cfg.CuFraction, cfg.VacancyFraction, rng.New(cfg.Seed))
+	}
+
+	switch cfg.Potential {
+	case EAM:
+		pot := eam.New(eam.Default())
+		s.mkMod = func() kmc.Model { return eam.NewFastRegionEvaluator(pot, s.Tables) }
+	case NNP:
+		s.mkMod = func() kmc.Model { return nnp.NewLatticeEvaluator(cfg.Net, s.Tables) }
+	case BondCount:
+		params := bondcount.FeCu()
+		s.mkMod = func() kmc.Model { return bondcount.NewEvaluator(params, s.Tables) }
+	default:
+		return nil, fmt.Errorf("core: unknown potential kind %d", cfg.Potential)
+	}
+	s.model = s.mkMod()
+
+	if !cfg.parallel() {
+		s.engine = kmc.NewEngine(s.box, s.model, cfg.Temperature, rng.New(cfg.Seed).Split(1), cfg.Options)
+	}
+	return s, nil
+}
+
+// Box returns the current lattice (the evolved state after runs).
+func (s *Simulation) Box() *lattice.Box { return s.box }
+
+// Time returns the simulated time in seconds.
+func (s *Simulation) Time() float64 {
+	if s.engine != nil {
+		return s.engine.Time()
+	}
+	return s.time
+}
+
+// Hops returns the executed hop count.
+func (s *Simulation) Hops() int64 {
+	if s.engine != nil {
+		return s.engine.Steps()
+	}
+	return s.hops
+}
+
+// EngineStats exposes the serial engine's cache counters (zero for
+// parallel runs).
+func (s *Simulation) EngineStats() kmc.Stats {
+	if s.engine != nil {
+		return s.engine.Stats()
+	}
+	return kmc.Stats{}
+}
+
+// Report summarises a run segment.
+type Report struct {
+	Duration float64
+	Hops     int64
+	// Analysis is the Cu cluster state at the end of the segment.
+	Analysis cluster.Analysis
+}
+
+// Run advances the simulation by duration seconds (serial or parallel
+// per the configuration) and returns a report. Observer, if non-nil, is
+// invoked after every executed hop on serial runs (it is not available
+// on parallel runs, where hops happen concurrently).
+func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report, error) {
+	if duration < 0 {
+		return Report{}, fmt.Errorf("core: negative duration")
+	}
+	if s.engine != nil {
+		limit := s.engine.Time() + duration
+		for s.engine.Time() < limit {
+			ev, ok := s.engine.Step(limit)
+			if !ok {
+				break
+			}
+			if observer != nil {
+				observer(ev)
+			}
+		}
+	} else {
+		if observer != nil {
+			return Report{}, fmt.Errorf("core: per-event observers are unavailable on parallel runs")
+		}
+		s.segment++
+		cfg := sublattice.Config{
+			PX: s.Cfg.Ranks[0], PY: s.Cfg.Ranks[1], PZ: s.Cfg.Ranks[2],
+			Temperature: s.Cfg.Temperature,
+			TStop:       s.Cfg.TStop,
+			Seed:        s.Cfg.Seed + s.segment,
+		}
+		res := sublattice.Run(s.box, cfg, duration, s.mkMod)
+		s.box = res.Box
+		s.time += res.Time
+		for _, st := range res.Stats {
+			s.hops += st.Hops
+		}
+	}
+	return Report{
+		Duration: duration,
+		Hops:     s.Hops(),
+		Analysis: cluster.Analyze(s.box, 2),
+	}, nil
+}
+
+// Analyze returns the current Cu cluster statistics (1NN+2NN adjacency).
+func (s *Simulation) Analyze() cluster.Analysis { return cluster.Analyze(s.box, 2) }
+
+// IsolatedCu returns the Fig. 8 observable.
+func (s *Simulation) IsolatedCu() int { return cluster.IsolatedCu(s.box) }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := New(Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.01, VacancyFraction: 0.001, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.LatticeConstant != units.LatticeConstantFe || s.Cfg.Temperature != units.ReactorTemperature ||
+		s.Cfg.Cutoff != units.CutoffStandard {
+		t.Fatalf("defaults not applied: %+v", s.Cfg)
+	}
+	if s.Tables.NLocal != 112 {
+		t.Fatal("tables not built at the standard cutoff")
+	}
+	if s.Box().NumSites() != 2000 {
+		t.Fatal("box size wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := map[string]Config{
+		"zero cells":  {Cells: [3]int{0, 4, 4}},
+		"bad frac":    {Cells: [3]int{4, 4, 4}, CuFraction: 0.9, VacancyFraction: 0.2},
+		"nnp w/o net": {Cells: [3]int{10, 10, 10}, Potential: NNP},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSerialRun(t *testing.T) {
+	s, err := New(Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	rep, err := s.Run(2e-8, func(ev kmc.Event) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() != 2e-8 {
+		t.Fatalf("Time = %v, want exactly 2e-8 (clipped)", s.Time())
+	}
+	if int64(events) != s.Hops() || rep.Hops != s.Hops() {
+		t.Fatalf("observer saw %d events, engine reports %d", events, s.Hops())
+	}
+	if rep.Analysis.NumCu == 0 {
+		t.Fatal("analysis missing Cu")
+	}
+	// A second segment continues the same trajectory.
+	rep2, err := s.Run(2e-8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() != 4e-8 {
+		t.Fatalf("Time after second segment = %v", s.Time())
+	}
+	if rep2.Hops < rep.Hops {
+		t.Fatal("hop counter went backwards")
+	}
+}
+
+func TestParallelRun(t *testing.T) {
+	s, err := New(Config{
+		Cells: [3]int{16, 16, 16}, CuFraction: 0.03, VacancyFraction: 0.001,
+		Seed: 4, Ranks: [3]int{2, 2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe0, cu0, vac0 := s.Box().Count()
+	rep, err := s.Run(1e-7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hops == 0 {
+		t.Fatal("no hops in parallel run")
+	}
+	fe1, cu1, vac1 := s.Box().Count()
+	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
+		t.Fatal("species not conserved in parallel run")
+	}
+	if s.Time() != 1e-7 {
+		t.Fatalf("parallel time %v", s.Time())
+	}
+	// Observers are a serial-only feature.
+	if _, err := s.Run(1e-8, func(kmc.Event) {}); err == nil {
+		t.Fatal("parallel run accepted an observer")
+	}
+	// Successive segments must use fresh randomness (different hops
+	// expected; identical would indicate seed reuse).
+	h1 := rep.Hops
+	rep2, err := s.Run(1e-7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Hops == h1 {
+		t.Fatal("second segment executed zero hops")
+	}
+}
+
+func TestNNPPotentialPath(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{64, 8, 1}, rng.New(9))
+	s, err := New(Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.02, VacancyFraction: 0.001,
+		Seed: 5, Potential: NNP, Net: pot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(5e-9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hops() == 0 {
+		t.Fatal("NNP-driven run executed no hops")
+	}
+}
+
+func TestNNPCutoffMismatchRejected(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{64, 8, 1}, rng.New(9))
+	_, err := New(Config{
+		Cells: [3]int{10, 10, 10}, Potential: NNP, Net: pot,
+		Cutoff: units.CutoffShort, // tables narrower than the potential
+	})
+	if err == nil {
+		t.Fatal("expected cutoff mismatch error")
+	}
+}
+
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	mk := func() *Simulation {
+		s, err := New(Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if _, err := a.Run(3e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(3e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Box().Equal(b.Box()) {
+		t.Fatal("same config+seed produced different trajectories")
+	}
+	if a.IsolatedCu() != b.IsolatedCu() {
+		t.Fatal("observables differ")
+	}
+}
+
+func TestEngineStatsExposed(t *testing.T) {
+	s, err := New(Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.02, VacancyFraction: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.EngineStats().Refreshes == 0 {
+		t.Fatal("no refreshes recorded")
+	}
+}
+
+// TestParallelNNPRun covers the NNP-evaluator-per-rank factory path in a
+// real multi-rank run.
+func TestParallelNNPRun(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{64, 8, 1}, rng.New(21))
+	s, err := New(Config{
+		Cells: [3]int{16, 16, 16}, CuFraction: 0.02, VacancyFraction: 0.0005,
+		Seed: 22, Potential: NNP, Net: pot, Ranks: [3]int{2, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe0, cu0, vac0 := s.Box().Count()
+	rep, err := s.Run(4e-8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe1, cu1, vac1 := s.Box().Count()
+	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
+		t.Fatal("species not conserved in NNP parallel run")
+	}
+	if rep.Hops == 0 {
+		t.Fatal("no hops")
+	}
+}
+
+// TestInitialBoxRestart covers the checkpoint/restart configuration.
+func TestInitialBoxRestart(t *testing.T) {
+	s1, err := New(Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := s1.Box().Clone()
+	s2, err := New(Config{InitialBox: snapshot, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Box().Equal(snapshot) {
+		t.Fatal("restart did not preserve the box")
+	}
+	// The restart clones: evolving s2 must not mutate the snapshot.
+	if _, err := s2.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !snapshot.Equal(s1.Box()) {
+		t.Fatal("restart aliased the caller's box")
+	}
+}

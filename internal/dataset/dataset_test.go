@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+)
+
+func TestGenerateStructureSizes(t *testing.T) {
+	oracle := eam.New(eam.Default())
+	cfg := DefaultConfig()
+	structs := Generate(30, oracle, cfg, rng.New(1))
+	if len(structs) != 30 {
+		t.Fatalf("generated %d structures, want 30", len(structs))
+	}
+	for i := range structs {
+		n := structs[i].NumAtoms()
+		// 60–64 lattice sites minus up to MaxVacancies removals.
+		if n < 60-cfg.MaxVacancies || n > 64 {
+			t.Fatalf("structure %d has %d atoms, want 58–64", i, n)
+		}
+		if len(structs[i].Spec) != n || len(structs[i].Forces) != n {
+			t.Fatalf("structure %d: inconsistent slice lengths", i)
+		}
+		if structs[i].Energy >= 0 {
+			t.Fatalf("structure %d has non-negative cohesive energy %v", i, structs[i].Energy)
+		}
+	}
+}
+
+func TestGenerateLabelsMatchOracle(t *testing.T) {
+	oracle := eam.New(eam.Default())
+	structs := Generate(3, oracle, DefaultConfig(), rng.New(2))
+	for i := range structs {
+		s := &structs[i]
+		e := oracle.StructureEnergy(s.Pos, s.Spec, s.Cell)
+		if e != s.Energy {
+			t.Fatalf("structure %d energy label mismatch", i)
+		}
+		f := oracle.StructureForces(s.Pos, s.Spec, s.Cell)
+		for ai := range f {
+			if f[ai] != s.Forces[ai] {
+				t.Fatalf("structure %d force label mismatch at atom %d", i, ai)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	oracle := eam.New(eam.Default())
+	a := Generate(5, oracle, DefaultConfig(), rng.New(9))
+	b := Generate(5, oracle, DefaultConfig(), rng.New(9))
+	for i := range a {
+		if a[i].Energy != b[i].Energy || a[i].NumAtoms() != b[i].NumAtoms() {
+			t.Fatal("same seed generated different datasets")
+		}
+	}
+}
+
+func TestGenerateContainsBothElements(t *testing.T) {
+	oracle := eam.New(eam.Default())
+	structs := Generate(20, oracle, DefaultConfig(), rng.New(3))
+	var totFe, totCu int
+	for i := range structs {
+		n := structs[i].CountElements()
+		totFe += n[lattice.Fe]
+		totCu += n[lattice.Cu]
+	}
+	if totFe == 0 || totCu == 0 {
+		t.Fatalf("dataset lacks element diversity: %d Fe, %d Cu", totFe, totCu)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	oracle := eam.New(eam.Default())
+	structs := Generate(10, oracle, DefaultConfig(), rng.New(4))
+	train, test := Split(structs, 7, rng.New(5))
+	if len(train) != 7 || len(test) != 3 {
+		t.Fatalf("split sizes %d/%d, want 7/3", len(train), len(test))
+	}
+	// Energies are continuous labels: uniqueness identifies structures.
+	seen := map[float64]bool{}
+	for _, s := range append(append([]Structure{}, train...), test...) {
+		if seen[s.Energy] {
+			t.Fatal("structure appears twice after split")
+		}
+		seen[s.Energy] = true
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(make([]Structure, 3), 5, rng.New(1))
+}
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3, 4}
+	ref := []float64{1.1, 1.9, 3.2, 3.8}
+	if got := MAE(pred, ref); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("MAE = %v, want 0.15", got)
+	}
+	wantRMSE := math.Sqrt((0.01 + 0.01 + 0.04 + 0.04) / 4)
+	if got := RMSE(pred, ref); math.Abs(got-wantRMSE) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, wantRMSE)
+	}
+	if got := R2(ref, ref); got != 1 {
+		t.Fatalf("R2 of perfect prediction = %v, want 1", got)
+	}
+	r2 := R2(pred, ref)
+	if r2 <= 0.9 || r2 >= 1 {
+		t.Fatalf("R2 = %v, want in (0.9, 1)", r2)
+	}
+	// Constant reference: R² is defined as 0 unless exact.
+	if got := R2([]float64{1, 2}, []float64{5, 5}); got != 0 {
+		t.Fatalf("R2 with zero variance ref = %v, want 0", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Fatalf("R2 exact constant = %v, want 1", got)
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mae":  func() { MAE([]float64{1}, []float64{1, 2}) },
+		"rmse": func() { RMSE([]float64{1}, []float64{1, 2}) },
+		"r2":   func() { R2([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyMetrics(t *testing.T) {
+	if MAE(nil, nil) != 0 || RMSE(nil, nil) != 0 || R2(nil, nil) != 0 {
+		t.Fatal("empty-series metrics should be 0")
+	}
+}

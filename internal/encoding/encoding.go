@@ -1,0 +1,241 @@
+// Package encoding implements the triple-encoding tabulation (TET)
+// algorithm of Sec. 3.1 of the TensorKMC paper: the foundation that lets a
+// huge sparse simulation domain be reduced to small dense "vacancy
+// systems".
+//
+// The three tables are:
+//
+//   - CET (coordinates encoding tabulation): the ordered relative
+//     half-unit coordinates of every site in a vacancy system. Entry 0 is
+//     the vacancy at the origin; entries [0, NRegion) form the jumping
+//     region (all sites whose energy can change under any of the 8
+//     candidate hops); entries [NRegion, NAll) are the outer sites that
+//     act only as neighbours of region sites.
+//   - NET (neighbour-list encoding tabulation): for each region site, the
+//     CET indices and quantised distances of its N_local neighbours.
+//   - VET (vacancy encoding tabulation): a per-vacancy-system vector of
+//     atom types, one per CET entry — the only per-system mutable state.
+//
+// CET and NET depend only on the lattice constant and the cutoff radius
+// and are shared by every vacancy system in a simulation (and across MPI
+// ranks in the paper). Because all bcc sites are geometrically
+// equivalent, translating CET to any vacancy position enumerates that
+// vacancy's system.
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tensorkmc/internal/lattice"
+)
+
+// Neighbor is one NET entry: the CET index of a neighbouring site and the
+// index of its quantised interatomic distance in Tables.Distances.
+type Neighbor struct {
+	ID        int32
+	DistIndex uint16
+}
+
+// Tables bundles the shared CET and NET tables for one (a, r_cut) pair.
+type Tables struct {
+	// A is the lattice constant (Å); Rcut the cutoff radius (Å);
+	// Norm2Max the squared cutoff in half-units.
+	A        float64
+	Rcut     float64
+	Norm2Max int
+
+	// CET holds relative coordinates: [0] is the vacancy origin,
+	// [1, NRegion) the rest of the jumping region, [NRegion, NAll) the
+	// outer shell.
+	CET []lattice.Vec
+
+	// NLocal is the number of neighbours of a single site within Rcut
+	// (112 at 6.5 Å); NRegion the jumping-region size (253 at 6.5 Å);
+	// NOut the outer-shell size; NAll = NRegion + NOut.
+	NLocal  int
+	NRegion int
+	NOut    int
+	NAll    int
+
+	// NET[i*NLocal : (i+1)*NLocal] are the neighbours of region site i.
+	NET []Neighbor
+
+	// Distances lists the distinct interatomic distances (Å) occurring
+	// within the cutoff, ascending; NET entries refer into it. In AKMC
+	// interatomic distances are discrete (Sec. 3.4), which is what makes
+	// the feature TABLE possible.
+	Distances []float64
+
+	// NN1Index[k] is the CET index of the k-th first-nearest-neighbour
+	// site (hop direction k); MaxExtent is the largest |coordinate|
+	// appearing in CET, which lower-bounds usable box sizes and sets
+	// the ghost width needed by the parallel decomposition.
+	NN1Index  [8]int32
+	MaxExtent int
+
+	index map[lattice.Vec]int32
+}
+
+// New constructs the tables for lattice constant a (Å) and cutoff rcut
+// (Å). For the paper's a = 2.87 Å, rcut = 6.5 Å this yields
+// NLocal = 112, NRegion = 253.
+func New(a, rcut float64) *Tables {
+	if a <= 0 || rcut <= 0 {
+		panic(fmt.Sprintf("encoding: invalid a=%v rcut=%v", a, rcut))
+	}
+	t := &Tables{A: a, Rcut: rcut, Norm2Max: lattice.HalfUnitsForCutoff(rcut, a)}
+	ball := lattice.OffsetsWithin(t.Norm2Max)
+	t.NLocal = len(ball)
+
+	// The jumping region is the union of the cutoff balls around the
+	// centre and its eight 1NN sites (each ball includes its centre).
+	inRegion := map[lattice.Vec]bool{{}: true}
+	centers := append([]lattice.Vec{{}}, lattice.NN1[:]...)
+	for _, c := range centers {
+		inRegion[c] = true
+		for _, off := range ball {
+			inRegion[c.Add(off)] = true
+		}
+	}
+	// Outer shell: neighbours of region sites that are not themselves
+	// in the region.
+	inOut := map[lattice.Vec]bool{}
+	for v := range inRegion {
+		for _, off := range ball {
+			n := v.Add(off)
+			if !inRegion[n] {
+				inOut[n] = true
+			}
+		}
+	}
+
+	region := sortedSites(inRegion)
+	out := sortedSites(inOut)
+	t.NRegion = len(region)
+	t.NOut = len(out)
+	t.NAll = t.NRegion + t.NOut
+	t.CET = append(region, out...)
+
+	t.index = make(map[lattice.Vec]int32, t.NAll)
+	for i, v := range t.CET {
+		t.index[v] = int32(i)
+	}
+	if t.CET[0] != (lattice.Vec{}) {
+		panic("encoding: CET[0] is not the origin")
+	}
+	for k, nn := range lattice.NN1 {
+		t.NN1Index[k] = t.index[nn]
+	}
+	for _, v := range t.CET {
+		for _, c := range []int{v.X, v.Y, v.Z} {
+			if c < 0 {
+				c = -c
+			}
+			if c > t.MaxExtent {
+				t.MaxExtent = c
+			}
+		}
+	}
+
+	// Distance quantisation table.
+	n2Set := map[int]bool{}
+	for _, off := range ball {
+		n2Set[off.Norm2()] = true
+	}
+	n2s := make([]int, 0, len(n2Set))
+	for n2 := range n2Set {
+		n2s = append(n2s, n2)
+	}
+	sort.Ints(n2s)
+	distIdx := make(map[int]uint16, len(n2s))
+	for i, n2 := range n2s {
+		t.Distances = append(t.Distances, 0.5*a*math.Sqrt(float64(n2)))
+		distIdx[n2] = uint16(i)
+	}
+
+	// NET: neighbours of every region site. By construction every
+	// neighbour of a region site is in region ∪ out, so the lookup
+	// always succeeds.
+	t.NET = make([]Neighbor, 0, t.NRegion*t.NLocal)
+	for _, v := range t.CET[:t.NRegion] {
+		for _, off := range ball {
+			n := v.Add(off)
+			id, ok := t.index[n]
+			if !ok {
+				panic(fmt.Sprintf("encoding: neighbour %v of region site %v missing from CET", n, v))
+			}
+			t.NET = append(t.NET, Neighbor{ID: id, DistIndex: distIdx[off.Norm2()]})
+		}
+	}
+	return t
+}
+
+// sortedSites orders sites by (|v|², X, Y, Z) so the table layout is
+// deterministic; the origin (|v|² = 0) always sorts first.
+func sortedSites(set map[lattice.Vec]bool) []lattice.Vec {
+	out := make([]lattice.Vec, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if an, bn := a.Norm2(), b.Norm2(); an != bn {
+			return an < bn
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.Z < b.Z
+	})
+	return out
+}
+
+// Neighbors returns the NET slice of region site i.
+func (t *Tables) Neighbors(i int) []Neighbor {
+	return t.NET[i*t.NLocal : (i+1)*t.NLocal]
+}
+
+// IndexOf returns the CET index of the given relative coordinate and
+// whether it is part of the vacancy system.
+func (t *Tables) IndexOf(v lattice.Vec) (int32, bool) {
+	id, ok := t.index[v]
+	return id, ok
+}
+
+// VET is the vacancy encoding tabulation: the atom type of each CET entry
+// for one concrete vacancy system. VET[0] is the central vacancy.
+type VET []lattice.Species
+
+// NewVET allocates a VET sized for these tables.
+func (t *Tables) NewVET() VET { return make(VET, t.NAll) }
+
+// FillVET populates vet by translating CET to the given centre and
+// querying site types through get (which must handle periodic wrapping).
+// This is the only step that touches the global lattice array (Sec. 3.1).
+func (t *Tables) FillVET(vet VET, center lattice.Vec, get func(lattice.Vec) lattice.Species) {
+	if len(vet) != t.NAll {
+		panic("encoding: VET length mismatch")
+	}
+	for i, rel := range t.CET {
+		vet[i] = get(center.Add(rel))
+	}
+}
+
+// ApplyHop swaps the central vacancy with its k-th first nearest
+// neighbour in vet, realising the final state of hop direction k.
+// Applying the same hop twice restores the initial state.
+func (t *Tables) ApplyHop(vet VET, k int) {
+	j := t.NN1Index[k]
+	vet[0], vet[j] = vet[j], vet[0]
+}
+
+// MemoryBytes reports the shared-table footprint (CET + NET + distances):
+// the memory every process pays once, regardless of simulation size.
+func (t *Tables) MemoryBytes() int {
+	return len(t.CET)*3*8 + len(t.NET)*6 + len(t.Distances)*8
+}

@@ -1,0 +1,278 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func stdTables(t *testing.T) *Tables {
+	t.Helper()
+	return New(units.LatticeConstantFe, units.CutoffStandard)
+}
+
+// TestPaperDimensions pins the headline table sizes of Sec. 4.1.1:
+// N_local = 112 and N_region = 253 at r_cut = 6.5 Å, a = 2.87 Å.
+func TestPaperDimensions(t *testing.T) {
+	tb := stdTables(t)
+	if tb.NLocal != 112 {
+		t.Errorf("NLocal = %d, want 112", tb.NLocal)
+	}
+	if tb.NRegion != 253 {
+		t.Errorf("NRegion = %d, want 253", tb.NRegion)
+	}
+	if tb.NAll != tb.NRegion+tb.NOut {
+		t.Errorf("NAll = %d, want NRegion+NOut = %d", tb.NAll, tb.NRegion+tb.NOut)
+	}
+	if len(tb.CET) != tb.NAll {
+		t.Errorf("len(CET) = %d, want %d", len(tb.CET), tb.NAll)
+	}
+	if len(tb.NET) != tb.NRegion*tb.NLocal {
+		t.Errorf("len(NET) = %d, want %d", len(tb.NET), tb.NRegion*tb.NLocal)
+	}
+	// Eight distinct shells within the 6.5 Å cutoff.
+	if len(tb.Distances) != 8 {
+		t.Errorf("len(Distances) = %d, want 8", len(tb.Distances))
+	}
+}
+
+func TestShortCutoffDimensions(t *testing.T) {
+	tb := New(units.LatticeConstantFe, units.CutoffShort)
+	if tb.NLocal != 64 {
+		t.Errorf("short-cutoff NLocal = %d, want 64", tb.NLocal)
+	}
+	if tb.NRegion >= 253 {
+		t.Errorf("short-cutoff NRegion = %d, want < 253", tb.NRegion)
+	}
+}
+
+func TestCETStructure(t *testing.T) {
+	tb := stdTables(t)
+	if tb.CET[0] != (lattice.Vec{}) {
+		t.Fatal("CET[0] is not the origin")
+	}
+	seen := map[lattice.Vec]bool{}
+	for i, v := range tb.CET {
+		if !v.IsSite() {
+			t.Fatalf("CET[%d] = %v violates bcc parity", i, v)
+		}
+		if seen[v] {
+			t.Fatalf("CET contains duplicate %v", v)
+		}
+		seen[v] = true
+	}
+	// All eight 1NN sites must be in the region part and resolvable.
+	for k, nn := range lattice.NN1 {
+		idx := tb.NN1Index[k]
+		if idx <= 0 || int(idx) >= tb.NRegion {
+			t.Fatalf("NN1Index[%d] = %d outside region", k, idx)
+		}
+		if tb.CET[idx] != nn {
+			t.Fatalf("NN1Index[%d] resolves to %v, want %v", k, tb.CET[idx], nn)
+		}
+	}
+}
+
+// TestRegionDefinition verifies the geometric meaning of the region: a
+// site is in [0, NRegion) iff it is within r_cut of the centre or of one
+// of the 8 first nearest neighbours.
+func TestRegionDefinition(t *testing.T) {
+	tb := stdTables(t)
+	centers := append([]lattice.Vec{{}}, lattice.NN1[:]...)
+	inRegion := func(v lattice.Vec) bool {
+		for _, c := range centers {
+			if v.Sub(c).Norm2() <= tb.Norm2Max {
+				return true
+			}
+		}
+		return false
+	}
+	for i, v := range tb.CET {
+		want := i < tb.NRegion
+		if got := inRegion(v); got != want {
+			t.Fatalf("CET[%d] = %v: region membership %v, geometric test %v", i, v, want, got)
+		}
+	}
+}
+
+func TestNETConsistency(t *testing.T) {
+	tb := stdTables(t)
+	for i := 0; i < tb.NRegion; i++ {
+		self := tb.CET[i]
+		for _, nb := range tb.Neighbors(i) {
+			other := tb.CET[nb.ID]
+			d2 := other.Sub(self).Norm2()
+			if d2 == 0 || d2 > tb.Norm2Max {
+				t.Fatalf("NET of site %d lists %v at |Δ|²=%d", i, other, d2)
+			}
+			wantDist := 0.5 * tb.A * math.Sqrt(float64(d2))
+			if math.Abs(tb.Distances[nb.DistIndex]-wantDist) > 1e-12 {
+				t.Fatalf("NET distance index wrong for pair (%d,%d)", i, nb.ID)
+			}
+		}
+	}
+}
+
+// TestNETSymmetry: if region sites i and j list each other, the quantised
+// distances must agree (neighbour relations are symmetric).
+func TestNETSymmetry(t *testing.T) {
+	tb := stdTables(t)
+	type pair struct{ a, b int32 }
+	dist := map[pair]uint16{}
+	for i := 0; i < tb.NRegion; i++ {
+		for _, nb := range tb.Neighbors(i) {
+			dist[pair{int32(i), nb.ID}] = nb.DistIndex
+		}
+	}
+	for p, d := range dist {
+		if int(p.b) < tb.NRegion {
+			back, ok := dist[pair{p.b, p.a}]
+			if !ok {
+				t.Fatalf("site %d lists %d but not vice versa", p.a, p.b)
+			}
+			if back != d {
+				t.Fatalf("asymmetric distance between %d and %d", p.a, p.b)
+			}
+		}
+	}
+}
+
+func TestDistancesSorted(t *testing.T) {
+	tb := stdTables(t)
+	for i := 1; i < len(tb.Distances); i++ {
+		if tb.Distances[i] <= tb.Distances[i-1] {
+			t.Fatal("Distances not strictly ascending")
+		}
+	}
+	if tb.Distances[0] < 2.4 || tb.Distances[0] > 2.5 {
+		t.Fatalf("first shell distance = %v, want ≈2.485 Å", tb.Distances[0])
+	}
+	last := tb.Distances[len(tb.Distances)-1]
+	if last > tb.Rcut {
+		t.Fatalf("max tabulated distance %v exceeds cutoff %v", last, tb.Rcut)
+	}
+}
+
+func TestFillVETAndApplyHop(t *testing.T) {
+	tb := stdTables(t)
+	box := lattice.NewBox(12, 12, 12, tb.A)
+	r := rng.New(123)
+	lattice.FillRandomAlloy(box, 0.1, 0.0, r)
+	center := lattice.Vec{X: 6, Y: 6, Z: 6}
+	box.Set(center, lattice.Vacancy)
+
+	vet := tb.NewVET()
+	tb.FillVET(vet, center, box.Get)
+	if vet[0] != lattice.Vacancy {
+		t.Fatal("VET[0] is not the vacancy")
+	}
+	for i, rel := range tb.CET {
+		if vet[i] != box.Get(center.Add(rel)) {
+			t.Fatalf("VET[%d] does not match lattice", i)
+		}
+	}
+
+	// ApplyHop must swap exactly two entries and be an involution.
+	orig := append(VET(nil), vet...)
+	for k := 0; k < 8; k++ {
+		tb.ApplyHop(vet, k)
+		j := tb.NN1Index[k]
+		if vet[0] != orig[j] || vet[j] != orig[0] {
+			t.Fatalf("hop %d did not swap correctly", k)
+		}
+		diffs := 0
+		for i := range vet {
+			if vet[i] != orig[i] {
+				diffs++
+			}
+		}
+		if orig[j] != orig[0] && diffs != 2 {
+			t.Fatalf("hop %d changed %d entries, want 2", k, diffs)
+		}
+		tb.ApplyHop(vet, k)
+		for i := range vet {
+			if vet[i] != orig[i] {
+				t.Fatalf("hop %d is not an involution", k)
+			}
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	tb := stdTables(t)
+	for i, v := range tb.CET {
+		got, ok := tb.IndexOf(v)
+		if !ok || got != int32(i) {
+			t.Fatalf("IndexOf(%v) = (%d,%v), want (%d,true)", v, got, ok, i)
+		}
+	}
+	if _, ok := tb.IndexOf(lattice.Vec{X: 100, Y: 100, Z: 100}); ok {
+		t.Fatal("IndexOf found a site far outside the system")
+	}
+}
+
+func TestMaxExtent(t *testing.T) {
+	tb := stdTables(t)
+	// Region reaches 1 + √20 ≈ 5.47 → 5-ish; outer shell adds another
+	// ball radius ≈ 4.47. MaxExtent must cover every CET coordinate.
+	for _, v := range tb.CET {
+		for _, c := range []int{v.X, v.Y, v.Z} {
+			if c < 0 {
+				c = -c
+			}
+			if c > tb.MaxExtent {
+				t.Fatalf("coordinate %d exceeds MaxExtent %d", c, tb.MaxExtent)
+			}
+		}
+	}
+	if tb.MaxExtent < 8 || tb.MaxExtent > 10 {
+		t.Fatalf("MaxExtent = %d, expected ≈9 for 6.5 Å cutoff", tb.MaxExtent)
+	}
+}
+
+func TestMemoryBytesPositiveAndSmall(t *testing.T) {
+	tb := stdTables(t)
+	mb := tb.MemoryBytes()
+	if mb <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+	// Shared tables are a constant few hundred kB — independent of the
+	// simulation size. That independence is the whole point of TET.
+	if mb > 1<<21 {
+		t.Fatalf("shared tables unexpectedly large: %d bytes", mb)
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, args := range [][2]float64{{0, 6.5}, {2.87, 0}, {-1, 6.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %v) did not panic", args[0], args[1])
+				}
+			}()
+			New(args[0], args[1])
+		}()
+	}
+}
+
+func TestTablesIndependentOfCallOrder(t *testing.T) {
+	a := New(2.87, 6.5)
+	b := New(2.87, 6.5)
+	if a.NAll != b.NAll || a.NRegion != b.NRegion {
+		t.Fatal("table sizes differ between constructions")
+	}
+	for i := range a.CET {
+		if a.CET[i] != b.CET[i] {
+			t.Fatal("CET ordering not deterministic")
+		}
+	}
+	for i := range a.NET {
+		if a.NET[i] != b.NET[i] {
+			t.Fatal("NET not deterministic")
+		}
+	}
+}

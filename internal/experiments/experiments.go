@@ -1,0 +1,263 @@
+// Package experiments computes the data behind every table and figure of
+// the paper's evaluation section as typed results. cmd/tkmc-bench formats
+// these into the human-readable report; the package's own tests assert
+// the paper's shape claims directly, so "the repository reproduces the
+// evaluation" is itself part of the test suite.
+package experiments
+
+import (
+	"fmt"
+
+	"tensorkmc/internal/cluster"
+	"tensorkmc/internal/dataset"
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/fusion"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/memmodel"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/openkmc"
+	"tensorkmc/internal/perfmodel"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/roofline"
+	"tensorkmc/internal/sw"
+	"tensorkmc/internal/train"
+	"tensorkmc/internal/units"
+)
+
+// --- Fig. 7 ---------------------------------------------------------------
+
+// Fig7Config scales the training experiment.
+type Fig7Config struct {
+	NStructs, NTrain, Epochs int
+	Sizes                    []int
+}
+
+// Fig7Full is the report configuration (paper's dataset, compact head);
+// Fig7Quick shrinks the dataset for fast runs.
+func Fig7Full() Fig7Config {
+	return Fig7Config{NStructs: 540, NTrain: 400, Epochs: 350, Sizes: []int{64, 32, 16, 1}}
+}
+func Fig7Quick() Fig7Config {
+	return Fig7Config{NStructs: 160, NTrain: 130, Epochs: 300, Sizes: []int{64, 32, 16, 1}}
+}
+
+// Fig7Result carries the parity metrics plus the dataset split.
+type Fig7Result struct {
+	Metrics       train.Metrics
+	NTrain, NTest int
+}
+
+// Fig7 runs the training-parity experiment.
+func Fig7(cfg Fig7Config) (Fig7Result, error) {
+	oracle := eam.New(eam.Default())
+	structs := dataset.Generate(cfg.NStructs, oracle, dataset.DefaultConfig(), rng.New(100))
+	trainSet, testSet := dataset.Split(structs, cfg.NTrain, rng.New(101))
+	pot, err := train.Fit(trainSet, feature.Standard(units.CutoffStandard), train.Options{
+		Sizes: cfg.Sizes, Epochs: cfg.Epochs, BatchStructures: 32,
+		LR: 3e-3, WeightDecay: 3e-5, ForceWeight: 0.3, CosineDecay: true, Seed: 7,
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	return Fig7Result{
+		Metrics: train.Evaluate(pot, testSet),
+		NTrain:  len(trainSet),
+		NTest:   len(testSet),
+	}, nil
+}
+
+// --- Fig. 8 ---------------------------------------------------------------
+
+// Fig8Point is one checkpoint of the dual-engine validation.
+type Fig8Point struct {
+	Step            int
+	Time            float64
+	IsolatedTKMC    int
+	IsolatedBase    int
+	ConfigIdentical bool
+}
+
+// Fig8Result is the equivalence trajectory.
+type Fig8Result struct {
+	Sites, Cu, Vacancies int
+	Points               []Fig8Point
+	Identical            bool
+}
+
+// Fig8 runs both engines from one seed and compares at checkpoints.
+func Fig8(cells, steps, checkpoints int) (Fig8Result, error) {
+	pot := eam.New(eam.Default())
+	boxA := lattice.NewBox(cells, cells, cells, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(boxA, 0.04, 0.0008, rng.New(5))
+	boxB := boxA.Clone()
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	tkmc := kmc.NewEngine(boxA, eam.NewRegionEvaluator(pot, tb), units.ReactorTemperature, rng.New(6), kmc.Options{})
+	base := openkmc.NewEngine(boxB, pot, units.CutoffStandard, units.ReactorTemperature, rng.New(6))
+
+	_, cu, vac := boxA.Count()
+	res := Fig8Result{Sites: boxA.NumSites(), Cu: cu, Vacancies: vac, Identical: true}
+	per := steps / checkpoints
+	for c := 1; c <= checkpoints; c++ {
+		for i := 0; i < per; i++ {
+			_, okA := tkmc.Step(1e300)
+			_, okB := base.Step(1e300)
+			if !okA || !okB {
+				return res, fmt.Errorf("experiments: engines exhausted events at step %d", c*per)
+			}
+		}
+		p := Fig8Point{
+			Step:            c * per,
+			Time:            tkmc.Time(),
+			IsolatedTKMC:    cluster.IsolatedCu(boxA),
+			IsolatedBase:    cluster.IsolatedCu(boxB),
+			ConfigIdentical: boxA.Equal(boxB),
+		}
+		if !p.ConfigIdentical || p.IsolatedTKMC != p.IsolatedBase {
+			res.Identical = false
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// --- Fig. 9 ---------------------------------------------------------------
+
+// Fig9Result is the roofline analysis.
+type Fig9Result struct {
+	Balance         float64
+	Layers          []roofline.Point
+	BigFusion       roofline.Point
+	TotalLayerBytes float64
+}
+
+// Fig9 computes the roofline points at the paper's batch.
+func Fig9() Fig9Result {
+	arch := sw.SW26010Pro()
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	const m = 32 * 16 * 16
+	res := Fig9Result{
+		Balance:   arch.MachineBalance(),
+		Layers:    roofline.LayerPoints(arch, net, m),
+		BigFusion: roofline.BigFusionPoint(arch, net, m),
+	}
+	for _, p := range res.Layers {
+		res.TotalLayerBytes += p.Bytes
+	}
+	return res
+}
+
+// --- Fig. 10 ----------------------------------------------------------------
+
+// Fig10Rung is one ladder entry.
+type Fig10Rung struct {
+	Variant fusion.Variant
+	Seconds float64
+	Speedup float64
+}
+
+// Fig10 runs the operator ladder at batch size m.
+func Fig10(m int) []Fig10Rung {
+	arch := sw.SW26010Pro()
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	x := nnp.NewMatrix(m, net.InputDim())
+	r := rng.New(2)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	var out []Fig10Rung
+	var base float64
+	for _, v := range fusion.Variants {
+		res := fusion.Run(v, net, x, arch)
+		if v == fusion.Base {
+			base = res.Seconds
+		}
+		out = append(out, Fig10Rung{Variant: v, Seconds: res.Seconds, Speedup: base / res.Seconds})
+	}
+	return out
+}
+
+// --- Fig. 11 ----------------------------------------------------------------
+
+// Fig11 evaluates the serial-comparison model at both cutoffs.
+func Fig11() [2]perfmodel.SerialResult {
+	hopRate := 8 * units.ArrheniusRate(units.EA0Fe, units.ReactorTemperature)
+	return [2]perfmodel.SerialResult{
+		perfmodel.SerialComparison(units.LatticeConstantFe, units.CutoffStandard, hopRate),
+		perfmodel.SerialComparison(units.LatticeConstantFe, units.CutoffShort, hopRate),
+	}
+}
+
+// --- Table 1 ------------------------------------------------------------------
+
+// Table1Result bundles the memory comparison.
+type Table1Result struct {
+	Rows                     []memmodel.Row
+	PerAtomOpen, PerAtomTKMC float64
+}
+
+// Table1 evaluates the memory model at the paper's sizes.
+func Table1() Table1Result {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	open, tkmc := memmodel.PerAtomBytes(tb, 8e-6)
+	return Table1Result{Rows: memmodel.Table1(tb), PerAtomOpen: open, PerAtomTKMC: tkmc}
+}
+
+// --- Figs. 12/13 ------------------------------------------------------------
+
+// ScalingParams returns the calibrated sweep-model parameters (event cost
+// from the modelled SW(opt) per-step time).
+func ScalingParams() perfmodel.ScalingParams {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	return perfmodel.DefaultScalingParams(perfmodel.SerialStep(perfmodel.SWOpt, tb, net).Total())
+}
+
+// Fig12 returns the strong-scaling curve; Fig13 the weak-scaling curve.
+func Fig12() []perfmodel.Point { return ScalingParams().PaperStrongScaling() }
+func Fig13() []perfmodel.Point { return ScalingParams().PaperWeakScaling() }
+
+// --- Fig. 14 -----------------------------------------------------------------
+
+// Fig14Point is one precipitation checkpoint.
+type Fig14Point struct {
+	Hops     int64
+	Time     float64
+	Analysis cluster.Analysis
+}
+
+// Fig14Result is the precipitation trajectory.
+type Fig14Result struct {
+	Sites, Cu, Vacancies int
+	Points               []Fig14Point
+}
+
+// Fig14 runs the application scenario: supersaturated Fe–Cu thermal
+// aging at the short cutoff with the incremental EAM evaluator.
+func Fig14(cells, steps, checkpoints int) Fig14Result {
+	box := lattice.NewBox(cells, cells, cells, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.04, 1.2e-3, rng.New(12))
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffShort)
+	params := eam.Default()
+	params.RCut = units.CutoffShort
+	params.RIn = 4.6
+	eng := kmc.NewEngine(box, eam.NewFastRegionEvaluator(eam.New(params), tb), units.ReactorTemperature, rng.New(13), kmc.Options{})
+
+	_, cu, vac := box.Count()
+	res := Fig14Result{Sites: box.NumSites(), Cu: cu, Vacancies: vac}
+	res.Points = append(res.Points, Fig14Point{Analysis: cluster.Analyze(box, 2)})
+	per := steps / checkpoints
+	for c := 1; c <= checkpoints; c++ {
+		if eng.RunSteps(per) < per {
+			break
+		}
+		res.Points = append(res.Points, Fig14Point{
+			Hops:     eng.Steps(),
+			Time:     eng.Time(),
+			Analysis: cluster.Analyze(box, 2),
+		})
+	}
+	return res
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"testing"
+
+	"tensorkmc/internal/fusion"
+	"tensorkmc/internal/perfmodel"
+)
+
+// These tests make the paper's shape claims part of the test suite: each
+// asserts the qualitative conclusion of one evaluation figure.
+
+func TestFig8ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual-engine run is slow")
+	}
+	res, err := Fig8(12, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("Fig. 8: engines diverged")
+	}
+	if len(res.Points) != 4 || res.Vacancies == 0 {
+		t.Fatalf("Fig. 8: malformed result %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.IsolatedTKMC != p.IsolatedBase || !p.ConfigIdentical {
+			t.Fatalf("Fig. 8: checkpoint mismatch %+v", p)
+		}
+	}
+}
+
+func TestFig9ShapeHolds(t *testing.T) {
+	res := Fig9()
+	if res.Balance < 43.6 || res.Balance > 43.7 {
+		t.Fatalf("machine balance %v, want 43.63", res.Balance)
+	}
+	for _, p := range res.Layers {
+		if !p.MemoryBound {
+			t.Fatalf("layer %s should be memory-bound", p.Name)
+		}
+	}
+	if res.BigFusion.MemoryBound {
+		t.Fatal("big-fusion should be compute-bound")
+	}
+	if res.TotalLayerBytes < 15*res.BigFusion.Bytes {
+		t.Fatal("big-fusion traffic reduction below ~15×")
+	}
+}
+
+func TestFig10ShapeHolds(t *testing.T) {
+	rungs := Fig10(1024)
+	if len(rungs) != 5 {
+		t.Fatalf("want 5 rungs, got %d", len(rungs))
+	}
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].Seconds >= rungs[i-1].Seconds {
+			t.Fatalf("ladder not monotone at %v", rungs[i].Variant)
+		}
+	}
+	if last := rungs[len(rungs)-1]; last.Variant != fusion.BigFusion || last.Speedup < 50 {
+		t.Fatalf("big-fusion speedup %v, want ≫50×", last.Speedup)
+	}
+}
+
+func TestFig11ShapeHolds(t *testing.T) {
+	both := Fig11()
+	for _, res := range both {
+		x86 := res.Totals[perfmodel.X86]
+		sw := res.Totals[perfmodel.SW]
+		opt := res.Totals[perfmodel.SWOpt]
+		if !(opt < x86 && x86 < sw) {
+			t.Fatalf("rcut %.1f: ordering broken: opt=%v x86=%v sw=%v", res.Rcut, opt, x86, sw)
+		}
+		if x86/opt < 5 {
+			t.Fatalf("rcut %.1f: SW(opt) advantage %v too small", res.Rcut, x86/opt)
+		}
+	}
+	if both[1].Totals[perfmodel.SWOpt] >= both[0].Totals[perfmodel.SWOpt] {
+		t.Fatal("short cutoff should be cheaper")
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	res := Table1()
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 rows")
+	}
+	if !res.Rows[3].Open.OOM || res.Rows[2].Open.OOM {
+		t.Fatal("baseline OOM crossover not at 128 M atoms")
+	}
+	for _, row := range res.Rows {
+		if row.Tensor.OOM || row.Ratio < 3 {
+			t.Fatalf("TensorKMC row broken: %+v", row)
+		}
+	}
+	if res.PerAtomOpen/res.PerAtomTKMC < 5 {
+		t.Fatal("per-atom reduction below 5×")
+	}
+}
+
+func TestFig12ShapeHolds(t *testing.T) {
+	pts := Fig12()
+	last := pts[len(pts)-1]
+	if last.Cores != 24960000 {
+		t.Fatalf("largest point %d cores", last.Cores)
+	}
+	if last.Efficiency < 0.7 || last.Efficiency > 0.97 {
+		t.Fatalf("strong-scaling efficiency %v, paper reports 85%%", last.Efficiency)
+	}
+}
+
+func TestFig13ShapeHolds(t *testing.T) {
+	pts := Fig13()
+	last := pts[len(pts)-1]
+	if last.Cores != 27456000 {
+		t.Fatalf("largest point %d cores", last.Cores)
+	}
+	if last.TotalAtoms < 5.3e13 {
+		t.Fatalf("largest system %v atoms, want ≈5.4e13", last.TotalAtoms)
+	}
+	if last.Efficiency < 0.9 {
+		t.Fatalf("weak-scaling efficiency %v", last.Efficiency)
+	}
+}
+
+func TestFig14ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("precipitation run is slow")
+	}
+	res := Fig14(12, 6000, 4)
+	if len(res.Points) < 3 {
+		t.Fatal("too few checkpoints")
+	}
+	first := res.Points[0].Analysis
+	last := res.Points[len(res.Points)-1].Analysis
+	if last.Isolated >= first.Isolated {
+		t.Fatalf("isolated Cu did not fall: %d -> %d", first.Isolated, last.Isolated)
+	}
+	if last.MaxSize <= first.MaxSize {
+		t.Fatalf("clusters did not grow: %d -> %d", first.MaxSize, last.MaxSize)
+	}
+}
+
+func TestFig7QuickConfig(t *testing.T) {
+	// Only validate the configuration plumbing here; the full training
+	// shape is asserted by the train package tests and the report.
+	cfg := Fig7Quick()
+	if cfg.NTrain >= cfg.NStructs || cfg.Sizes[0] != 64 {
+		t.Fatalf("bad quick config %+v", cfg)
+	}
+	full := Fig7Full()
+	if full.NStructs != 540 || full.NTrain != 400 {
+		t.Fatal("full config must match the paper's dataset")
+	}
+}

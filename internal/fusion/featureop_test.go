@@ -1,0 +1,121 @@
+package fusion
+
+import (
+	"testing"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/sw"
+	"tensorkmc/internal/units"
+)
+
+func featureSetup(t *testing.T) (*FeatureOperator, encoding.VET) {
+	t.Helper()
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	desc := feature.Standard(units.CutoffStandard)
+	tab := feature.NewTable(desc, tb.Distances)
+	box := lattice.NewBox(14, 14, 14, tb.A)
+	lattice.FillRandomAlloy(box, 0.2, 0.001, rng.New(31))
+	center := lattice.Vec{X: 14, Y: 14, Z: 14}
+	box.Set(center, lattice.Vacancy)
+	vet := tb.NewVET()
+	tb.FillVET(vet, center, box.Get)
+	return NewFeatureOperator(tb, tab), vet
+}
+
+// TestFeatureOperatorMatchesReference: the CPE-parallel layout must
+// produce exactly the features of the serial reference for all 1+8
+// states.
+func TestFeatureOperatorMatchesReference(t *testing.T) {
+	op, vet := featureSetup(t)
+	cg := sw.NewCoreGroup(sw.SW26010Pro())
+	got := op.Run(cg, vet)
+	if len(got) != 9 {
+		t.Fatalf("got %d states, want 9", len(got))
+	}
+	dim := op.Tab.Desc().Dim()
+	ref := make([]float64, op.Tb.NRegion*dim)
+	work := append(encoding.VET(nil), vet...)
+	for s := 0; s < 9; s++ {
+		if s > 0 {
+			op.Tb.ApplyHop(work, s-1)
+		}
+		feature.ComputeRegion(op.Tb, op.Tab, work, ref)
+		for i := range ref {
+			if got[s][i] != ref[i] {
+				t.Fatalf("state %d feature %d: CPE %v vs reference %v", s, i, got[s][i], ref[i])
+			}
+		}
+		if s > 0 {
+			op.Tb.ApplyHop(work, s-1)
+		}
+	}
+	// The original VET must be untouched.
+	refCG := sw.NewCoreGroup(sw.SW26010Pro())
+	again := op.Run(refCG, vet)
+	for i := range again[0] {
+		if again[0][i] != got[0][i] {
+			t.Fatal("operator mutated its input VET")
+		}
+	}
+}
+
+// TestFeatureOperatorMPEEquivalence: the MPE reference path computes the
+// same numbers with very different cost characteristics.
+func TestFeatureOperatorMPEEquivalence(t *testing.T) {
+	op, vet := featureSetup(t)
+	cpe := sw.NewCoreGroup(sw.SW26010Pro())
+	mpe := sw.NewCoreGroup(sw.MPE())
+	a := op.Run(cpe, vet)
+	b := op.RunMPE(mpe, vet)
+	for s := range a {
+		for i := range a[s] {
+			if a[s][i] != b[s][i] {
+				t.Fatalf("state %d: CPE and MPE paths disagree", s)
+			}
+		}
+	}
+	// Cost shape: the CPE path's main-memory traffic is tiny (one VET
+	// get + one features put per CPE); the MPE path streams NET every
+	// state.
+	if cpe.Ct.MainBytes >= mpe.Ct.MainBytes {
+		t.Fatalf("CPE traffic %v not below MPE traffic %v", cpe.Ct.MainBytes, mpe.Ct.MainBytes)
+	}
+	// Modelled times: CPE-parallel must dominate (the paper's ~60×).
+	tCPE := cpe.Ct.Time(sw.SW26010Pro(), true)
+	tMPE := mpe.Ct.Time(sw.MPE(), false)
+	if tCPE*5 > tMPE {
+		t.Fatalf("CPE feature path (%.3g s) not clearly faster than MPE (%.3g s)", tCPE, tMPE)
+	}
+}
+
+// TestFeatureOperatorLDMFits: NET + VET + TABLE + feature buffers must
+// fit the 256 KB scratchpad — the Sec. 3.4 residency claim.
+func TestFeatureOperatorLDMFits(t *testing.T) {
+	op, vet := featureSetup(t)
+	cg := sw.NewCoreGroup(sw.SW26010Pro())
+	op.Run(cg, vet)
+	peak := 0
+	for _, l := range cg.LDMs {
+		if l.Peak() > peak {
+			peak = l.Peak()
+		}
+	}
+	if peak == 0 || peak > 256<<10 {
+		t.Fatalf("peak LDM %d bytes", peak)
+	}
+	t.Logf("feature-operator LDM residency: %d KB of 256 KB", peak>>10)
+}
+
+func TestFeatureOperatorValidHops(t *testing.T) {
+	op, vet := featureSetup(t)
+	valid := op.ValidHops(vet)
+	for k, v := range valid {
+		want := vet[op.Tb.NN1Index[k]].IsAtom()
+		if v != want {
+			t.Fatalf("hop %d validity %v, want %v", k, v, want)
+		}
+	}
+}

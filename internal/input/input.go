@@ -1,0 +1,233 @@
+// Package input parses the tensorkmc input deck: the plain-text
+// key/value format behind the paper artifact's `tensorkmc -in input`
+// invocation. Lines are `key value [value...]`; `#` starts a comment;
+// keys are case-insensitive.
+//
+// Example deck:
+//
+//	# Fe-Cu thermal aging, Fig. 8 conditions
+//	cells        100 100 100
+//	lattice      2.87
+//	cu           0.0134
+//	vacancy      0.000008
+//	temperature  573
+//	cutoff       6.5
+//	duration     1e-3
+//	seed         42
+//	potential    eam
+//	ranks        2 2 1
+//	tstop        2e-8
+package input
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/nnp"
+)
+
+// Deck is a parsed input file.
+type Deck struct {
+	Config core.Config
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// PotentialFile, if set, is loaded as the NNP.
+	PotentialFile string
+	// Snapshots asks the runner to report observables this many times
+	// during the run (0 = only at the end).
+	Snapshots int
+	// DumpFile, if set, receives extended-XYZ solute snapshots
+	// ("<base>.<n>.xyz" per snapshot plus a final one).
+	DumpFile string
+	// CheckpointFile, if set, receives a binary box snapshot at the
+	// end of the run; RestartFile, if set, initialises the box from a
+	// previous checkpoint instead of a random alloy.
+	CheckpointFile string
+	RestartFile    string
+}
+
+// Parse reads a deck from r.
+func Parse(r io.Reader) (*Deck, error) {
+	d := &Deck{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		key := strings.ToLower(fields[0])
+		args := fields[1:]
+		if err := d.apply(key, args); err != nil {
+			return nil, fmt.Errorf("input: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d.Config.Cells == [3]int{} && d.RestartFile == "" {
+		return nil, fmt.Errorf("input: missing required key 'cells' (or 'restart')")
+	}
+	if d.Duration <= 0 {
+		return nil, fmt.Errorf("input: missing or non-positive 'duration'")
+	}
+	return d, nil
+}
+
+// ParseFile reads a deck from a file.
+func ParseFile(path string) (*Deck, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func (d *Deck) apply(key string, args []string) error {
+	switch key {
+	case "cells":
+		v, err := ints(args, 3)
+		if err != nil {
+			return err
+		}
+		d.Config.Cells = [3]int{v[0], v[1], v[2]}
+	case "ranks":
+		v, err := ints(args, 3)
+		if err != nil {
+			return err
+		}
+		d.Config.Ranks = [3]int{v[0], v[1], v[2]}
+	case "lattice":
+		return float1(args, &d.Config.LatticeConstant)
+	case "cu":
+		return float1(args, &d.Config.CuFraction)
+	case "vacancy":
+		return float1(args, &d.Config.VacancyFraction)
+	case "temperature":
+		return float1(args, &d.Config.Temperature)
+	case "cutoff":
+		return float1(args, &d.Config.Cutoff)
+	case "tstop":
+		return float1(args, &d.Config.TStop)
+	case "duration":
+		return float1(args, &d.Duration)
+	case "seed":
+		if len(args) != 1 {
+			return fmt.Errorf("seed wants one value")
+		}
+		v, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		d.Config.Seed = v
+	case "snapshots":
+		if len(args) != 1 {
+			return fmt.Errorf("snapshots wants one value")
+		}
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid snapshots %q", args[0])
+		}
+		d.Snapshots = v
+	case "dump":
+		if len(args) != 1 {
+			return fmt.Errorf("dump wants a path")
+		}
+		d.DumpFile = args[0]
+	case "checkpoint":
+		if len(args) != 1 {
+			return fmt.Errorf("checkpoint wants a path")
+		}
+		d.CheckpointFile = args[0]
+	case "restart":
+		if len(args) != 1 {
+			return fmt.Errorf("restart wants a path")
+		}
+		d.RestartFile = args[0]
+	case "potential":
+		if len(args) < 1 {
+			return fmt.Errorf("potential wants 'eam', 'bondcount' or 'nnp <file>'")
+		}
+		switch strings.ToLower(args[0]) {
+		case "eam":
+			d.Config.Potential = core.EAM
+		case "bondcount":
+			d.Config.Potential = core.BondCount
+		case "nnp":
+			d.Config.Potential = core.NNP
+			if len(args) != 2 {
+				return fmt.Errorf("potential nnp wants a file path")
+			}
+			d.PotentialFile = args[1]
+		default:
+			return fmt.Errorf("unknown potential %q", args[0])
+		}
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// Finish loads any referenced potential file and returns the config
+// ready for core.New.
+func (d *Deck) Finish() (core.Config, error) {
+	cfg := d.Config
+	if d.PotentialFile != "" {
+		pot, err := nnp.LoadFile(d.PotentialFile)
+		if err != nil {
+			return cfg, fmt.Errorf("input: loading potential: %w", err)
+		}
+		cfg.Net = pot
+	}
+	if d.RestartFile != "" {
+		box, err := lattice.LoadBoxFile(d.RestartFile)
+		if err != nil {
+			return cfg, fmt.Errorf("input: loading restart: %w", err)
+		}
+		cfg.InitialBox = box
+	}
+	return cfg, nil
+}
+
+func ints(args []string, n int) ([]int, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("want %d integers, got %d", n, len(args))
+	}
+	out := make([]int, n)
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func float1(args []string, dst *float64) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want one number, got %d", len(args))
+	}
+	v, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return fmt.Errorf("invalid number %q", args[0])
+	}
+	*dst = v
+	return nil
+}

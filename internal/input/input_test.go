@@ -1,0 +1,187 @@
+package input
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/lattice"
+)
+
+const sampleDeck = `
+# Fig. 8 conditions
+cells        100 100 100
+lattice      2.87
+cu           0.0134
+vacancy      0.000008   # 8e-4 at.%
+temperature  573
+cutoff       6.5
+duration     1e-3
+seed         42
+potential    eam
+ranks        2 2 1
+tstop        2e-8
+snapshots    10
+`
+
+func TestParseSample(t *testing.T) {
+	d, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Config
+	if c.Cells != [3]int{100, 100, 100} || c.Ranks != [3]int{2, 2, 1} {
+		t.Fatalf("geometry wrong: %+v", c)
+	}
+	if c.LatticeConstant != 2.87 || c.CuFraction != 0.0134 || c.VacancyFraction != 8e-6 {
+		t.Fatalf("composition wrong: %+v", c)
+	}
+	if c.Temperature != 573 || c.Cutoff != 6.5 || c.TStop != 2e-8 || c.Seed != 42 {
+		t.Fatalf("physics wrong: %+v", c)
+	}
+	if d.Duration != 1e-3 || d.Snapshots != 10 {
+		t.Fatalf("run control wrong: %+v", d)
+	}
+	if c.Potential != core.EAM {
+		t.Fatal("potential wrong")
+	}
+	cfg, err := d.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Net != nil {
+		t.Fatal("EAM deck should not load a net")
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	d, err := Parse(strings.NewReader("cells 4 4 4\nduration 1e-8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Cells != [3]int{4, 4, 4} {
+		t.Fatal("cells wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":      "cells 4 4 4\nduration 1\nbogus 1\n",
+		"missing cells":    "duration 1\n",
+		"missing duration": "cells 4 4 4\n",
+		"bad cells":        "cells 4 x 4\nduration 1\n",
+		"short cells":      "cells 4 4\nduration 1\n",
+		"bad float":        "cells 4 4 4\nduration abc\n",
+		"bad seed":         "cells 4 4 4\nduration 1\nseed -3\n",
+		"bad potential":    "cells 4 4 4\nduration 1\npotential lda\n",
+		"nnp no file":      "cells 4 4 4\nduration 1\npotential nnp\n",
+		"neg snapshots":    "cells 4 4 4\nduration 1\nsnapshots -1\n",
+	}
+	for name, deck := range cases {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	deck := "# full line comment\n\n   \ncells 2 2 2 # trailing\nduration 1\n"
+	if _, err := Parse(strings.NewReader(deck)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "input")
+	if err := os.WriteFile(path, []byte(sampleDeck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Seed != 42 {
+		t.Fatal("file parse wrong")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestFinishMissingPotentialFile(t *testing.T) {
+	d, err := Parse(strings.NewReader("cells 4 4 4\nduration 1\npotential nnp /nonexistent.pot\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Finish(); err == nil {
+		t.Fatal("expected error loading missing potential")
+	}
+}
+
+func TestDumpCheckpointRestartKeys(t *testing.T) {
+	deck := `
+cells 4 4 4
+duration 1
+dump solute
+checkpoint state.box
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DumpFile != "solute" || d.CheckpointFile != "state.box" {
+		t.Fatalf("dump/checkpoint not parsed: %+v", d)
+	}
+	// Restart replaces the cells requirement.
+	d2, err := Parse(strings.NewReader("restart prev.box\nduration 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.RestartFile != "prev.box" {
+		t.Fatal("restart not parsed")
+	}
+	// Malformed variants.
+	for _, bad := range []string{
+		"cells 4 4 4\nduration 1\ndump\n",
+		"cells 4 4 4\nduration 1\ncheckpoint\n",
+		"cells 4 4 4\nduration 1\nrestart a b\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted malformed deck %q", bad)
+		}
+	}
+}
+
+func TestRestartFinishLoadsBox(t *testing.T) {
+	dir := t.TempDir()
+	box := lattice.NewBox(4, 4, 4, 2.87)
+	box.Set(lattice.Vec{X: 1, Y: 1, Z: 1}, lattice.Cu)
+	path := filepath.Join(dir, "prev.box")
+	if err := box.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(strings.NewReader("restart " + path + "\nduration 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := d.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.InitialBox == nil || !cfg.InitialBox.Equal(box) {
+		t.Fatal("Finish did not load the restart box")
+	}
+}
+
+func TestBondcountPotentialKey(t *testing.T) {
+	d, err := Parse(strings.NewReader("cells 4 4 4\nduration 1\npotential bondcount\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Potential != core.BondCount {
+		t.Fatal("bondcount potential not parsed")
+	}
+}

@@ -1,0 +1,324 @@
+package kmc
+
+import (
+	"fmt"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// Model supplies the energetics of a vacancy system: the initial-state
+// region energy and the energies of the 8 candidate final states
+// (Sec. 3.4's 1+N_f evaluation). Implementations exist for the neural
+// network potential (nnp.LatticeEvaluator) and the EAM potential
+// (eam.RegionEvaluator).
+type Model interface {
+	Tables() *encoding.Tables
+	HopEnergies(vet encoding.VET) (initial float64, final [8]float64, valid [8]bool)
+}
+
+// Rates converts hop energies into Arrhenius propensities per Eqs. (1)–(2):
+// Γ_k = Γ₀·exp(−(E_a⁰(species_k) + ΔE_k/2)/k_BT). Invalid hops get zero.
+func Rates(vet encoding.VET, tb *encoding.Tables, initial float64, final [8]float64, valid [8]bool, temperatureK float64) (rates [8]float64, total float64) {
+	for k := 0; k < 8; k++ {
+		if !valid[k] {
+			continue
+		}
+		mover := vet[tb.NN1Index[k]]
+		ea := units.MigrationEnergy(mover.EA0(), final[k]-initial)
+		r := units.ArrheniusRate(ea, temperatureK)
+		rates[k] = r
+		total += r
+	}
+	return rates, total
+}
+
+// system is one cached vacancy system: the paper's vacancy-cache entry
+// (Sec. 3.2) holding the VET and the current hop propensities.
+type system struct {
+	center lattice.Vec
+	vet    encoding.VET
+	rates  [8]float64
+	deltaE [8]float64
+	total  float64
+	filled bool // VET reflects the lattice
+	dirty  bool // rates need recomputation
+}
+
+// Event describes one executed vacancy hop.
+type Event struct {
+	Slot      int
+	Direction int
+	From, To  lattice.Vec
+	Mover     lattice.Species
+	DeltaE    float64
+	DeltaT    float64
+}
+
+// Options tune engine behaviour; the zero value is the production
+// configuration.
+type Options struct {
+	// DisableCache refills every VET and recomputes every propensity on
+	// each step — the no-vacancy-cache ablation.
+	DisableCache bool
+	// LinearSelection replaces the sum tree with a cumulative linear
+	// scan — the no-tree ablation.
+	LinearSelection bool
+}
+
+// Stats counts cache behaviour for the ablation benches.
+type Stats struct {
+	Refills   int64 // full VET rebuilds from the lattice
+	Patches   int64 // in-cache VET updates (no lattice access)
+	Refreshes int64 // propensity recomputations (model calls)
+}
+
+// Engine is the serial TensorKMC AKMC engine over a periodic box.
+type Engine struct {
+	box   *lattice.Box
+	model Model
+	tb    *encoding.Tables
+	temp  float64
+	rnd   *rng.Stream
+	opts  Options
+
+	systems []*system
+	slotOf  map[int]int // box site index of a vacancy centre → slot
+	tree    *SumTree
+
+	time  float64
+	steps int64
+	stats Stats
+}
+
+// NewEngine builds an engine over the box's current vacancies. The box
+// must be large enough that a vacancy system does not wrap onto itself in
+// a way the tables cannot express; boxes smaller than the CET extent are
+// rejected.
+func NewEngine(box *lattice.Box, model Model, temperatureK float64, r *rng.Stream, opts Options) *Engine {
+	tb := model.Tables()
+	if 2*box.Nx < tb.MaxExtent || 2*box.Ny < tb.MaxExtent || 2*box.Nz < tb.MaxExtent {
+		panic(fmt.Sprintf("kmc: box %dx%dx%d too small for tables extent %d half-units",
+			box.Nx, box.Ny, box.Nz, tb.MaxExtent))
+	}
+	e := &Engine{
+		box:    box,
+		model:  model,
+		tb:     tb,
+		temp:   temperatureK,
+		rnd:    r,
+		opts:   opts,
+		slotOf: make(map[int]int),
+	}
+	for _, v := range lattice.Vacancies(box) {
+		e.systems = append(e.systems, &system{center: v, vet: tb.NewVET(), dirty: true})
+		e.slotOf[box.Index(v)] = len(e.systems) - 1
+	}
+	n := len(e.systems)
+	if n == 0 {
+		n = 1
+	}
+	e.tree = NewSumTree(n)
+	return e
+}
+
+// Time returns the accumulated simulated time in seconds.
+func (e *Engine) Time() float64 { return e.time }
+
+// Steps returns the number of executed hops.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Stats returns cache behaviour counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Box returns the underlying lattice.
+func (e *Engine) Box() *lattice.Box { return e.box }
+
+// NumVacancies returns the number of tracked vacancies.
+func (e *Engine) NumVacancies() int { return len(e.systems) }
+
+// TotalRate returns the current summed propensity (refreshing any stale
+// systems first).
+func (e *Engine) TotalRate() float64 {
+	e.refreshAll()
+	if e.opts.LinearSelection {
+		var t float64
+		for _, s := range e.systems {
+			t += s.total
+		}
+		return t
+	}
+	return e.tree.Total()
+}
+
+// refresh recomputes one system's propensities (refilling its VET if
+// needed) and updates the selection structure.
+func (e *Engine) refresh(slot int) {
+	s := e.systems[slot]
+	if !s.filled {
+		e.tb.FillVET(s.vet, s.center, e.box.Get)
+		s.filled = true
+		e.stats.Refills++
+	}
+	initial, final, valid := e.model.HopEnergies(s.vet)
+	var rates [8]float64
+	rates, s.total = Rates(s.vet, e.tb, initial, final, valid, e.temp)
+	s.rates = rates
+	for k := 0; k < 8; k++ {
+		if valid[k] {
+			s.deltaE[k] = final[k] - initial
+		} else {
+			s.deltaE[k] = 0
+		}
+	}
+	s.dirty = false
+	e.stats.Refreshes++
+	e.tree.Update(slot, s.total)
+}
+
+func (e *Engine) refreshAll() {
+	for slot, s := range e.systems {
+		if e.opts.DisableCache {
+			s.filled = false
+			s.dirty = true
+		}
+		if s.dirty {
+			e.refresh(slot)
+		}
+	}
+}
+
+// invalidate marks every cached system whose VET covers the changed site,
+// patching the cached entry in place (the vacancy-cache fast path: no
+// lattice array access). skipSlot is the hopper, which is refilled
+// separately.
+func (e *Engine) invalidate(changed lattice.Vec, newSpecies lattice.Species, skipSlot int) {
+	for _, c := range e.tb.CET {
+		centre := e.box.Wrap(changed.Add(c))
+		slot, ok := e.slotOf[e.box.Index(centre)]
+		if !ok || slot == skipSlot {
+			continue
+		}
+		s := e.systems[slot]
+		if !s.filled {
+			s.dirty = true
+			continue
+		}
+		// The CET set is symmetric (c ∈ CET ⇔ −c ∈ CET), so the
+		// changed site sits at relative coordinate −c in this system.
+		idx, found := e.tb.IndexOf(lattice.Vec{X: -c.X, Y: -c.Y, Z: -c.Z})
+		if !found {
+			panic("kmc: CET not symmetric")
+		}
+		s.vet[idx] = newSpecies
+		s.dirty = true
+		e.stats.Patches++
+	}
+}
+
+// Step executes one KMC event, clipping at timeLimit: if the drawn
+// residence time would pass the limit, the clock is set to the limit, no
+// hop occurs, and ok is false. ok is also false when no events are
+// possible (zero total rate).
+func (e *Engine) Step(timeLimit float64) (Event, bool) {
+	e.refreshAll()
+
+	var total float64
+	if e.opts.LinearSelection {
+		for _, s := range e.systems {
+			total += s.total
+		}
+	} else {
+		total = e.tree.Total()
+	}
+	if total <= 0 {
+		return Event{}, false
+	}
+
+	// Draw order is part of the trajectory contract shared with the
+	// baseline engine: (1) vacancy, (2) direction, (3) residence time.
+	var slot int
+	target := e.rnd.Float64() * total
+	if e.opts.LinearSelection {
+		slot = len(e.systems) - 1
+		var acc float64
+		for i, s := range e.systems {
+			acc += s.total
+			if target < acc {
+				slot = i
+				break
+			}
+		}
+	} else {
+		slot = e.tree.Select(target)
+	}
+	s := e.systems[slot]
+
+	k := 7
+	dirTarget := e.rnd.Float64() * s.total
+	var acc float64
+	for i := 0; i < 8; i++ {
+		acc += s.rates[i]
+		if dirTarget < acc {
+			k = i
+			break
+		}
+	}
+
+	dt := e.rnd.ExpDeltaT(total)
+	if e.time+dt > timeLimit {
+		e.time = timeLimit
+		return Event{}, false
+	}
+	e.time += dt
+
+	from := s.center
+	to := e.box.Wrap(from.Add(lattice.NN1[k]))
+	mover := e.box.Get(to)
+	if !mover.IsAtom() {
+		panic(fmt.Sprintf("kmc: selected hop into non-atom %v at %v", mover, to))
+	}
+	e.box.Set(from, mover)
+	e.box.Set(to, lattice.Vacancy)
+
+	delete(e.slotOf, e.box.Index(from))
+	e.slotOf[e.box.Index(to)] = slot
+	s.center = to
+	s.filled = false // centre moved: VET must be refilled
+	s.dirty = true
+
+	// Other cached systems see two occupancy changes.
+	e.invalidate(from, mover, slot)
+	e.invalidate(to, lattice.Vacancy, slot)
+
+	e.steps++
+	return Event{Slot: slot, Direction: k, From: from, To: to, Mover: mover, DeltaE: s.deltaE[k], DeltaT: dt}, true
+}
+
+// RunUntil advances the clock to t (or until no events are possible) and
+// returns the number of executed hops.
+func (e *Engine) RunUntil(t float64) int {
+	n := 0
+	for e.time < t {
+		if _, ok := e.Step(t); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunSteps executes up to n hops with no time limit and returns the
+// number actually executed.
+func (e *Engine) RunSteps(n int) int {
+	done := 0
+	for i := 0; i < n; i++ {
+		if _, ok := e.Step(1e300); !ok {
+			break
+		}
+		done++
+	}
+	return done
+}

@@ -1,0 +1,390 @@
+package kmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// --- SumTree ---
+
+func TestSumTreeBasics(t *testing.T) {
+	tr := NewSumTree(5)
+	if tr.Len() != 8 {
+		t.Fatalf("capacity = %d, want 8", tr.Len())
+	}
+	tr.Update(0, 1)
+	tr.Update(2, 3)
+	tr.Update(4, 2)
+	if tr.Total() != 6 {
+		t.Fatalf("Total = %v, want 6", tr.Total())
+	}
+	if tr.Get(2) != 3 {
+		t.Fatalf("Get(2) = %v, want 3", tr.Get(2))
+	}
+	cases := []struct {
+		target float64
+		want   int
+	}{{0, 0}, {0.99, 0}, {1.0, 2}, {3.99, 2}, {4.0, 4}, {5.99, 4}}
+	for _, c := range cases {
+		if got := tr.Select(c.target); got != c.want {
+			t.Errorf("Select(%v) = %d, want %d", c.target, got, c.want)
+		}
+	}
+	if tr.Select(6.5) != 4 {
+		t.Error("Select beyond total should clamp to last positive leaf")
+	}
+}
+
+func TestSumTreeZero(t *testing.T) {
+	tr := NewSumTree(4)
+	if tr.Select(0) != -1 {
+		t.Fatal("empty tree selection should return -1")
+	}
+}
+
+func TestSumTreeMatchesLinearScan(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		tr := NewSumTree(len(raw))
+		weights := make([]float64, len(raw))
+		for i, v := range raw {
+			weights[i] = float64(v)
+			tr.Update(i, weights[i])
+		}
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		if total == 0 {
+			return tr.Select(0) == -1
+		}
+		r := rng.New(seed)
+		for trial := 0; trial < 20; trial++ {
+			target := r.Float64() * total
+			// Linear reference.
+			want := -1
+			var acc float64
+			for i, w := range weights {
+				acc += w
+				if target < acc {
+					want = i
+					break
+				}
+			}
+			if want == -1 {
+				continue // fp slack at the very top
+			}
+			if got := tr.Select(target); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumTreeGrow(t *testing.T) {
+	tr := NewSumTree(2)
+	tr.Update(0, 5)
+	tr.Update(1, 7)
+	big := tr.Grow(10)
+	if big.Len() < 10 || big.Get(0) != 5 || big.Get(1) != 7 || big.Total() != 12 {
+		t.Fatal("Grow lost weights")
+	}
+	if tr.Grow(2) != tr {
+		t.Fatal("Grow should return receiver when capacity suffices")
+	}
+}
+
+func TestSumTreePanics(t *testing.T) {
+	tr := NewSumTree(4)
+	for name, fn := range map[string]func(){
+		"negative weight": func() { tr.Update(0, -1) },
+		"bad index":       func() { tr.Update(9, 1) },
+		"zero size":       func() { NewSumTree(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// --- Engine ---
+
+// testSetup builds a small alloy box with an EAM model (fast) and the
+// standard cutoff.
+func testSetup(t *testing.T, n int, cuFrac, vacFrac float64, seed uint64) (*lattice.Box, *eam.RegionEvaluator) {
+	t.Helper()
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	model := eam.NewRegionEvaluator(eam.New(eam.Default()), tb)
+	box := lattice.NewBox(n, n, n, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, cuFrac, vacFrac, rng.New(seed))
+	return box, model
+}
+
+func TestEngineConservation(t *testing.T) {
+	box, model := testSetup(t, 12, 0.05, 0.002, 1)
+	fe0, cu0, vac0 := box.Count()
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(2), Options{})
+	if e.NumVacancies() != vac0 {
+		t.Fatalf("engine tracks %d vacancies, box has %d", e.NumVacancies(), vac0)
+	}
+	steps := e.RunSteps(200)
+	if steps != 200 {
+		t.Fatalf("executed %d steps, want 200", steps)
+	}
+	fe1, cu1, vac1 := box.Count()
+	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
+		t.Fatalf("species not conserved: (%d,%d,%d) -> (%d,%d,%d)", fe0, cu0, vac0, fe1, cu1, vac1)
+	}
+	if e.Steps() != 200 {
+		t.Fatalf("Steps() = %d", e.Steps())
+	}
+	if e.Time() <= 0 {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestEngineVacancyTrackingMatchesBox(t *testing.T) {
+	box, model := testSetup(t, 12, 0.05, 0.003, 3)
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(4), Options{})
+	e.RunSteps(150)
+	// Every tracked vacancy must sit on a vacancy site, and all box
+	// vacancies must be tracked.
+	boxVacs := lattice.Vacancies(box)
+	if len(boxVacs) != e.NumVacancies() {
+		t.Fatalf("box has %d vacancies, engine tracks %d", len(boxVacs), e.NumVacancies())
+	}
+	for _, v := range boxVacs {
+		if _, ok := e.slotOf[box.Index(v)]; !ok {
+			t.Fatalf("vacancy at %v not tracked", v)
+		}
+	}
+}
+
+// TestEngineCacheConsistency is the vacancy-cache correctness test: after
+// arbitrary evolution, every cached (filled) VET must equal a fresh fill
+// from the lattice.
+func TestEngineCacheConsistency(t *testing.T) {
+	box, model := testSetup(t, 12, 0.08, 0.004, 5)
+	tb := model.Tables()
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(6), Options{})
+	for i := 0; i < 100; i++ {
+		if _, ok := e.Step(1e300); !ok {
+			break
+		}
+		// Spot-check all systems every 10 steps.
+		if i%10 != 0 {
+			continue
+		}
+		fresh := tb.NewVET()
+		for slot, s := range e.systems {
+			if !s.filled {
+				continue
+			}
+			tb.FillVET(fresh, s.center, box.Get)
+			for j := range fresh {
+				if s.vet[j] != fresh[j] {
+					t.Fatalf("step %d: cached VET of slot %d stale at entry %d (%v vs %v)",
+						i, slot, j, s.vet[j], fresh[j])
+				}
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Patches == 0 {
+		t.Fatal("vacancy cache never patched — invalidation path untested")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	boxA, modelA := testSetup(t, 10, 0.05, 0.003, 7)
+	boxB, modelB := testSetup(t, 10, 0.05, 0.003, 7)
+	a := NewEngine(boxA, modelA, units.ReactorTemperature, rng.New(8), Options{})
+	b := NewEngine(boxB, modelB, units.ReactorTemperature, rng.New(8), Options{})
+	for i := 0; i < 100; i++ {
+		evA, okA := a.Step(1e300)
+		evB, okB := b.Step(1e300)
+		if okA != okB || evA != evB {
+			t.Fatalf("trajectories diverged at step %d: %+v vs %+v", i, evA, evB)
+		}
+	}
+	if !boxA.Equal(boxB) {
+		t.Fatal("final lattices differ")
+	}
+	if a.Time() != b.Time() {
+		t.Fatal("clocks differ")
+	}
+}
+
+// TestEngineCacheAblationEquivalence: with the cache disabled the engine
+// recomputes everything from the lattice each step; trajectories must be
+// identical to the cached engine (same physics, different bookkeeping).
+func TestEngineCacheAblationEquivalence(t *testing.T) {
+	boxA, modelA := testSetup(t, 10, 0.05, 0.003, 9)
+	boxB, modelB := testSetup(t, 10, 0.05, 0.003, 9)
+	cached := NewEngine(boxA, modelA, units.ReactorTemperature, rng.New(10), Options{})
+	uncached := NewEngine(boxB, modelB, units.ReactorTemperature, rng.New(10), Options{DisableCache: true})
+	for i := 0; i < 60; i++ {
+		evA, okA := cached.Step(1e300)
+		evB, okB := uncached.Step(1e300)
+		if okA != okB || evA != evB {
+			t.Fatalf("cache ablation diverged at step %d", i)
+		}
+	}
+	if cached.Stats().Refills >= uncached.Stats().Refills {
+		t.Fatalf("cache did not reduce refills: %d vs %d",
+			cached.Stats().Refills, uncached.Stats().Refills)
+	}
+}
+
+// TestEngineLinearSelectionEquivalence: the sum tree and the linear scan
+// must choose identical events.
+func TestEngineLinearSelectionEquivalence(t *testing.T) {
+	boxA, modelA := testSetup(t, 10, 0.05, 0.003, 11)
+	boxB, modelB := testSetup(t, 10, 0.05, 0.003, 11)
+	tree := NewEngine(boxA, modelA, units.ReactorTemperature, rng.New(12), Options{})
+	linear := NewEngine(boxB, modelB, units.ReactorTemperature, rng.New(12), Options{LinearSelection: true})
+	for i := 0; i < 60; i++ {
+		evA, okA := tree.Step(1e300)
+		evB, okB := linear.Step(1e300)
+		if okA != okB || evA.Slot != evB.Slot || evA.Direction != evB.Direction {
+			t.Fatalf("selection strategies diverged at step %d", i)
+		}
+	}
+}
+
+func TestEngineTimeLimitClipping(t *testing.T) {
+	box, model := testSetup(t, 10, 0.05, 0.002, 13)
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(14), Options{})
+	// Find a typical step time first.
+	e.RunSteps(5)
+	perStep := e.Time() / 5
+	limit := e.Time() + perStep*3
+	n := e.RunUntil(limit)
+	if e.Time() != limit {
+		t.Fatalf("clock %v, want clipped exactly to %v", e.Time(), limit)
+	}
+	if n < 1 || n > 30 {
+		t.Fatalf("unexpected step count %d before limit", n)
+	}
+	// Further RunUntil with the same limit must be a no-op.
+	if e.RunUntil(limit) != 0 {
+		t.Fatal("RunUntil past the limit executed events")
+	}
+}
+
+func TestEngineNoVacancies(t *testing.T) {
+	box, model := testSetup(t, 10, 0.05, 0.0, 15)
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(16), Options{})
+	if _, ok := e.Step(1e300); ok {
+		t.Fatal("engine with no vacancies executed an event")
+	}
+	if e.TotalRate() != 0 {
+		t.Fatal("total rate should be zero")
+	}
+}
+
+func TestEngineRejectsTinyBox(t *testing.T) {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	model := eam.NewRegionEvaluator(eam.New(eam.Default()), tb)
+	box := lattice.NewBox(2, 2, 2, units.LatticeConstantFe)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized box")
+		}
+	}()
+	NewEngine(box, model, 573, rng.New(1), Options{})
+}
+
+// TestEngineRateMagnitude anchors the simulated time scale: a dilute
+// system's mean step time must be near 1/(n_vac · Σ_k Γ_k(Fe)).
+func TestEngineRateMagnitude(t *testing.T) {
+	box, model := testSetup(t, 10, 0.0, 0.001, 17) // pure Fe + 2 vacancies
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(18), Options{})
+	total := e.TotalRate()
+	// Pure Fe: every hop has ΔE = 0 → rate = Γ₀·exp(−0.65/kT) each, 8
+	// hops per vacancy.
+	perHop := units.ArrheniusRate(units.EA0Fe, units.ReactorTemperature)
+	want := float64(e.NumVacancies()) * 8 * perHop
+	if math.Abs(total-want)/want > 1e-6 {
+		t.Fatalf("total rate %v, want %v", total, want)
+	}
+}
+
+// TestRatesDetailedBalance: hop rates must satisfy detailed balance for
+// any valid energy assignment.
+func TestRatesDetailedBalance(t *testing.T) {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	vet := tb.NewVET()
+	for i := range vet {
+		vet[i] = lattice.Fe
+	}
+	vet[0] = lattice.Vacancy
+	var final [8]float64
+	var valid [8]bool
+	initial := 0.0
+	for k := range final {
+		final[k] = 0.1 * float64(k-4)
+		valid[k] = true
+	}
+	rates, total := Rates(vet, tb, initial, final, valid, 573)
+	var sum float64
+	for k := 0; k < 8; k++ {
+		sum += rates[k]
+		if rates[k] <= 0 {
+			t.Fatalf("valid hop %d has rate %v", k, rates[k])
+		}
+	}
+	if math.Abs(sum-total) > 1e-9*total {
+		t.Fatal("total rate inconsistent with sum")
+	}
+	// Hop k=6 (ΔE = +0.2) vs hop k=2 (ΔE = −0.2): barrier difference is
+	// (ΔE₆ − ΔE₂)/2 = 0.2 eV, so the rate ratio is exp(−0.2/kT).
+	ratio := rates[6] / rates[2]
+	want := math.Exp(-0.2 * units.Beta(573))
+	if math.Abs(ratio-want)/want > 1e-9 {
+		t.Fatalf("detailed balance ratio %v, want %v", ratio, want)
+	}
+}
+
+// TestEquilibriumBoltzmann is a statistical-physics property test: a
+// single vacancy exchanging with one Cu atom visits configurations with
+// Boltzmann-distributed frequencies in the long-time limit. We test the
+// weaker but robust invariant that time advances and the vacancy
+// actually diffuses (its mean squared displacement grows).
+func TestVacancyDiffuses(t *testing.T) {
+	box, model := testSetup(t, 10, 0.0, 0.0, 19)
+	start := lattice.Vec{X: 10, Y: 10, Z: 10}
+	box.Set(start, lattice.Vacancy)
+	e := NewEngine(box, model, units.ReactorTemperature, rng.New(20), Options{})
+	e.RunSteps(50)
+	vacs := lattice.Vacancies(box)
+	if len(vacs) != 1 {
+		t.Fatalf("vacancy count changed: %d", len(vacs))
+	}
+	// After 50 pure-Fe hops the vacancy is overwhelmingly unlikely to
+	// be back at the start (random walk return probability ≪ 1).
+	if vacs[0] == start && e.Steps() == 50 {
+		t.Log("vacancy returned to start after 50 hops (possible but rare)")
+	}
+	if e.Stats().Refills < 50 {
+		t.Fatalf("hopper must refill its VET every hop: %d refills", e.Stats().Refills)
+	}
+}

@@ -1,0 +1,225 @@
+package lattice
+
+import "fmt"
+
+// Domain is a rectangular sub-domain of a periodic global box, augmented
+// with a ghost shell of configurable half-unit width. It implements the
+// paper's Sec. 3.3 memory layout: the site array stores all local sites
+// first and all ghost sites after, and the storage index of a site is
+// computed directly from its coordinates (Eq. 4) — no POS_ID array exists.
+//
+// Coordinates handed to Domain methods are *global* half-unit coordinates
+// relative to the global box origin; they must already be expressed in the
+// periodic image that overlaps this domain's extended region (the caller —
+// the sublattice layer — performs the wrap, because only it knows which
+// image a remote update refers to).
+type Domain struct {
+	// Origin is the global coordinate of the domain's first local site
+	// corner; Size is the local extent, Ghost the shell width, all in
+	// half-units.
+	Origin Vec
+	Size   Vec
+	Ghost  int
+
+	// A is the lattice constant in Å.
+	A float64
+
+	nLocal int
+	nAll   int
+	types  []Species
+}
+
+// NewDomain builds a domain with the given origin, size and ghost width.
+// Size components must be positive and even (whole unit cells) and the
+// origin must be a site-parity-preserving corner (even coordinates), so
+// that parity arithmetic matches the global lattice.
+func NewDomain(origin, size Vec, ghost int, a float64) *Domain {
+	if size.X <= 0 || size.Y <= 0 || size.Z <= 0 {
+		panic(fmt.Sprintf("lattice: invalid domain size %v", size))
+	}
+	if size.X%2 != 0 || size.Y%2 != 0 || size.Z%2 != 0 {
+		panic(fmt.Sprintf("lattice: domain size %v must be whole unit cells", size))
+	}
+	if origin.X%2 != 0 || origin.Y%2 != 0 || origin.Z%2 != 0 {
+		panic(fmt.Sprintf("lattice: domain origin %v must be even", origin))
+	}
+	if ghost < 0 {
+		panic("lattice: negative ghost width")
+	}
+	d := &Domain{Origin: origin, Size: size, Ghost: ghost, A: a}
+	d.nLocal = sitesInCuboid(
+		origin.X, origin.X+size.X,
+		origin.Y, origin.Y+size.Y,
+		origin.Z, origin.Z+size.Z)
+	d.nAll = sitesInCuboid(
+		origin.X-ghost, origin.X+size.X+ghost,
+		origin.Y-ghost, origin.Y+size.Y+ghost,
+		origin.Z-ghost, origin.Z+size.Z+ghost)
+	d.types = make([]Species, d.nAll)
+	return d
+}
+
+// NumLocal returns the number of local (owned) sites N.
+func (d *Domain) NumLocal() int { return d.nLocal }
+
+// NumAll returns the number of local plus ghost sites.
+func (d *Domain) NumAll() int { return d.nAll }
+
+// NumGhost returns the number of ghost sites.
+func (d *Domain) NumGhost() int { return d.nAll - d.nLocal }
+
+// Contains reports whether v lies in the extended (local+ghost) region.
+func (d *Domain) Contains(v Vec) bool {
+	return v.X >= d.Origin.X-d.Ghost && v.X < d.Origin.X+d.Size.X+d.Ghost &&
+		v.Y >= d.Origin.Y-d.Ghost && v.Y < d.Origin.Y+d.Size.Y+d.Ghost &&
+		v.Z >= d.Origin.Z-d.Ghost && v.Z < d.Origin.Z+d.Size.Z+d.Ghost
+}
+
+// IsLocal reports whether v is an owned (non-ghost) site of this domain.
+func (d *Domain) IsLocal(v Vec) bool {
+	return v.X >= d.Origin.X && v.X < d.Origin.X+d.Size.X &&
+		v.Y >= d.Origin.Y && v.Y < d.Origin.Y+d.Size.Y &&
+		v.Z >= d.Origin.Z && v.Z < d.Origin.Z+d.Size.Z
+}
+
+// countParity returns the number of integers n in [lo, hi) with
+// n ≡ p (mod 2). Empty or inverted ranges yield zero.
+func countParity(lo, hi, p int) int {
+	if hi <= lo {
+		return 0
+	}
+	first := lo
+	if mod2(first) != p {
+		first++
+	}
+	if first >= hi {
+		return 0
+	}
+	return (hi-first-1)/2 + 1
+}
+
+func mod2(x int) int {
+	m := x % 2
+	if m < 0 {
+		m += 2
+	}
+	return m
+}
+
+// sitesInCuboid counts valid bcc sites (x ≡ y ≡ z mod 2) in the half-open
+// cuboid [xlo,xhi)×[ylo,yhi)×[zlo,zhi).
+func sitesInCuboid(xlo, xhi, ylo, yhi, zlo, zhi int) int {
+	total := 0
+	for p := 0; p < 2; p++ {
+		total += countParity(xlo, xhi, p) * countParity(ylo, yhi, p) * countParity(zlo, zhi, p)
+	}
+	return total
+}
+
+// rasterID returns the zero-based traversal ID of site v in the extended
+// region, scanning z-major, then y, then x, visiting valid sites only.
+// This is the "local ID ... by traversing the cell" of Sec. 3.3.
+func (d *Domain) rasterID(v Vec) int {
+	exLo, exHi := d.Origin.X-d.Ghost, d.Origin.X+d.Size.X+d.Ghost
+	eyLo := d.Origin.Y - d.Ghost
+	ezLo := d.Origin.Z - d.Ghost
+	pz := mod2(v.Z)
+	id := sitesInCuboid(exLo, exHi, eyLo, d.Origin.Y+d.Size.Y+d.Ghost, ezLo, v.Z)
+	id += countParity(eyLo, v.Y, pz) * countParity(exLo, exHi, pz)
+	id += countParity(exLo, v.X, pz)
+	return id
+}
+
+// nLocalBefore returns the number of local sites whose raster ID is less
+// than that of v.
+func (d *Domain) nLocalBefore(v Vec) int {
+	lxLo, lxHi := d.Origin.X, d.Origin.X+d.Size.X
+	lyLo, lyHi := d.Origin.Y, d.Origin.Y+d.Size.Y
+	lzLo, lzHi := d.Origin.Z, d.Origin.Z+d.Size.Z
+
+	zCap := v.Z
+	if zCap > lzHi {
+		zCap = lzHi
+	}
+	n := sitesInCuboid(lxLo, lxHi, lyLo, lyHi, lzLo, zCap)
+	if v.Z >= lzLo && v.Z < lzHi {
+		pz := mod2(v.Z)
+		yCap := v.Y
+		if yCap > lyHi {
+			yCap = lyHi
+		}
+		n += countParity(lyLo, yCap, pz) * countParity(lxLo, lxHi, pz)
+		if v.Y >= lyLo && v.Y < lyHi {
+			xCap := v.X
+			if xCap > lxHi {
+				xCap = lxHi
+			}
+			n += countParity(lxLo, xCap, pz)
+		}
+	}
+	return n
+}
+
+// Index returns the storage index of site v per the paper's Eq. (4):
+// local sites occupy [0, NumLocal) in raster order, ghost sites occupy
+// [NumLocal, NumAll) in raster order. It panics if v is outside the
+// extended region or not a valid site.
+func (d *Domain) Index(v Vec) int {
+	if !v.IsSite() {
+		panic(fmt.Sprintf("lattice: %v is not a bcc site", v))
+	}
+	if !d.Contains(v) {
+		panic(fmt.Sprintf("lattice: %v outside domain extended region", v))
+	}
+	id := d.rasterID(v)
+	nloc := d.nLocalBefore(v)
+	nghost := id - nloc
+	if d.IsLocal(v) {
+		return id - nghost // = nloc
+	}
+	return d.nLocal + nghost
+}
+
+// Get returns the species at global site v (local or ghost).
+func (d *Domain) Get(v Vec) Species { return d.types[d.Index(v)] }
+
+// Set assigns the species at global site v (local or ghost).
+func (d *Domain) Set(v Vec, s Species) { d.types[d.Index(v)] = s }
+
+// Types exposes the backing array (locals first, ghosts after).
+func (d *Domain) Types() []Species { return d.types }
+
+// ForEachLocal calls fn for every local site in raster order with its
+// storage index (which for locals equals the raster-order local rank).
+func (d *Domain) ForEachLocal(fn func(v Vec, index int)) {
+	d.forEachRegion(d.Origin, d.Size, fn)
+}
+
+// ForEachGhost calls fn for every ghost site with its storage index.
+func (d *Domain) ForEachGhost(fn func(v Vec, index int)) {
+	exLo := d.Origin.Sub(Vec{d.Ghost, d.Ghost, d.Ghost})
+	exSize := d.Size.Add(Vec{2 * d.Ghost, 2 * d.Ghost, 2 * d.Ghost})
+	d.forEachRegion(exLo, exSize, func(v Vec, _ int) {
+		if !d.IsLocal(v) {
+			fn(v, d.Index(v))
+		}
+	})
+}
+
+func (d *Domain) forEachRegion(lo, size Vec, fn func(v Vec, index int)) {
+	for z := lo.Z; z < lo.Z+size.Z; z++ {
+		pz := mod2(z)
+		for y := lo.Y; y < lo.Y+size.Y; y++ {
+			if mod2(y) != pz {
+				continue
+			}
+			for x := lo.X; x < lo.X+size.X; x++ {
+				if mod2(x) != pz {
+					continue
+				}
+				v := Vec{x, y, z}
+				fn(v, d.Index(v))
+			}
+		}
+	}
+}

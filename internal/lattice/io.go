@@ -1,0 +1,138 @@
+package lattice
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary snapshot format ("TKMCBOX1"): the box geometry plus the raw
+// species array. Used for checkpoint/restart of long runs.
+const boxMagic = "TKMCBOX1"
+
+// Save writes a binary snapshot of the box to w.
+func (b *Box) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(boxMagic); err != nil {
+		return err
+	}
+	for _, v := range []int64{int64(b.Nx), int64(b.Ny), int64(b.Nz)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, b.A); err != nil {
+		return err
+	}
+	if _, err := bw.Write(toBytes(b.types)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func toBytes(s []Species) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// LoadBox reads a snapshot written by Save.
+func LoadBox(r io.Reader) (*Box, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(boxMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("lattice: reading magic: %w", err)
+	}
+	if string(magic) != boxMagic {
+		return nil, fmt.Errorf("lattice: bad magic %q", magic)
+	}
+	var dims [3]int64
+	for i := range dims {
+		if err := binary.Read(br, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, err
+		}
+		if dims[i] <= 0 || dims[i] > 1<<20 {
+			return nil, fmt.Errorf("lattice: implausible dimension %d", dims[i])
+		}
+	}
+	var a float64
+	if err := binary.Read(br, binary.LittleEndian, &a); err != nil {
+		return nil, err
+	}
+	box := NewBox(int(dims[0]), int(dims[1]), int(dims[2]), a)
+	raw := make([]byte, len(box.types))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, err
+	}
+	for i, v := range raw {
+		if v > byte(Vacancy) {
+			return nil, fmt.Errorf("lattice: invalid species %d at site %d", v, i)
+		}
+		box.types[i] = Species(v)
+	}
+	return box, nil
+}
+
+// SaveFile and LoadBoxFile are path-based conveniences.
+func (b *Box) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := b.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func LoadBoxFile(path string) (*Box, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBox(f)
+}
+
+// WriteXYZ exports the box in extended-XYZ format (readable by OVITO and
+// similar visualisers — how the paper's Fig. 14 renders were produced).
+// onlySolute limits output to Cu atoms and vacancies, which keeps files
+// tractable for dilute-alloy snapshots.
+func (b *Box) WriteXYZ(w io.Writer, comment string, onlySolute bool) error {
+	bw := bufio.NewWriter(w)
+	count := 0
+	for _, s := range b.types {
+		if !onlySolute || s != Fe {
+			count++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d\n", count); err != nil {
+		return err
+	}
+	lx := float64(b.Nx) * b.A
+	ly := float64(b.Ny) * b.A
+	lz := float64(b.Nz) * b.A
+	if _, err := fmt.Fprintf(bw, "Lattice=\"%g 0 0 0 %g 0 0 0 %g\" Properties=species:S:1:pos:R:3 %s\n",
+		lx, ly, lz, comment); err != nil {
+		return err
+	}
+	for i, s := range b.types {
+		if onlySolute && s == Fe {
+			continue
+		}
+		p := b.PositionOf(i, b.A)
+		name := s.String()
+		if s == Vacancy {
+			name = "X" // conventional vacancy marker
+		}
+		if _, err := fmt.Fprintf(bw, "%s %.4f %.4f %.4f\n", name, p[0], p[1], p[2]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,66 @@
+package lattice
+
+// PosIDIndexer is the OpenKMC-style reference indexing scheme of Sec. 3.3
+// (Fig. 5): a dense three-dimensional POS_ID array maps half-unit
+// coordinates to storage indices. Half of its cells are wasted on
+// non-site parities — exactly the memory overhead the paper's Eq. (4)
+// direct computation removes. TensorKMC keeps this implementation only as
+// a test oracle for Domain.Index and as the baseline of the indexing
+// ablation bench.
+type PosIDIndexer struct {
+	d      *Domain
+	origin Vec // extended-region low corner
+	ex     Vec // extended-region extents
+	posID  []int32
+}
+
+// NewPosIDIndexer precomputes the POS_ID table for the given domain by
+// replaying the same raster traversal Domain.Index models in closed form.
+func NewPosIDIndexer(d *Domain) *PosIDIndexer {
+	g := d.Ghost
+	p := &PosIDIndexer{
+		d:      d,
+		origin: d.Origin.Sub(Vec{g, g, g}),
+		ex:     d.Size.Add(Vec{2 * g, 2 * g, 2 * g}),
+	}
+	p.posID = make([]int32, p.ex.X*p.ex.Y*p.ex.Z)
+	for i := range p.posID {
+		p.posID[i] = -1
+	}
+	nLocal, nGhost := 0, 0
+	for z := p.origin.Z; z < p.origin.Z+p.ex.Z; z++ {
+		for y := p.origin.Y; y < p.origin.Y+p.ex.Y; y++ {
+			for x := p.origin.X; x < p.origin.X+p.ex.X; x++ {
+				v := Vec{x, y, z}
+				if !v.IsSite() {
+					continue
+				}
+				var idx int
+				if d.IsLocal(v) {
+					idx = nLocal
+					nLocal++
+				} else {
+					idx = d.NumLocal() + nGhost
+					nGhost++
+				}
+				p.posID[p.cell(v)] = int32(idx)
+			}
+		}
+	}
+	return p
+}
+
+func (p *PosIDIndexer) cell(v Vec) int {
+	r := v.Sub(p.origin)
+	return (r.Z*p.ex.Y+r.Y)*p.ex.X + r.X
+}
+
+// Index returns the storage index of site v via the POS_ID table.
+// It returns -1 for non-site coordinates inside the region.
+func (p *PosIDIndexer) Index(v Vec) int {
+	return int(p.posID[p.cell(v)])
+}
+
+// TableBytes returns the memory footprint of the POS_ID table, the
+// quantity Table 1 charges OpenKMC for.
+func (p *PosIDIndexer) TableBytes() int { return 4 * len(p.posID) }

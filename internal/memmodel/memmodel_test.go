@@ -1,0 +1,124 @@
+package memmodel
+
+import (
+	"testing"
+
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/openkmc"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func stdTables() *encoding.Tables {
+	return encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+}
+
+// TestOpenKMCFormulaMatchesEngine validates the analytic baseline row
+// against a live cache-all engine's actual array sizes.
+func TestOpenKMCFormulaMatchesEngine(t *testing.T) {
+	box := lattice.NewBox(10, 10, 10, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.05, 0.001, rng.New(1))
+	e := openkmc.NewEngine(box, eam.New(eam.Default()), units.CutoffStandard, units.ReactorTemperature, rng.New(2))
+	m := e.Memory()
+	n := float64(box.NumSites())
+	row := OpenKMC(n, stdTables().NLocal)
+	if row.T != float64(m.T) || row.PosID != float64(m.PosID) ||
+		row.EV != float64(m.EV) || row.ER != float64(m.ER) ||
+		row.Neigh != float64(m.Neigh) || row.Lattice != float64(m.Lattice) {
+		t.Fatalf("formula %+v disagrees with engine %+v", row, m)
+	}
+	if row.Runtime < float64(m.Total()) {
+		t.Fatal("runtime estimate below raw arrays")
+	}
+}
+
+// TestTable1Shape pins the paper's Table 1 conclusions: the baseline
+// exceeds the 16 GB CG budget at 128 M atoms ("-" in the paper) while
+// TensorKMC stays comfortably inside at every size; the runtime ratio is
+// well above the paper's ≈3×.
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(stdTables())
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	sizes := []float64{2, 16, 54, 128}
+	for i, row := range rows {
+		if row.AtomsMillions != sizes[i] {
+			t.Fatalf("row %d size %v", i, row.AtomsMillions)
+		}
+		if row.Tensor.OOM {
+			t.Fatalf("TensorKMC OOM at %v M atoms", row.AtomsMillions)
+		}
+		if row.Ratio < 3 {
+			t.Fatalf("runtime ratio %v at %v M atoms, want > 3 (paper: ≈3×)", row.Ratio, row.AtomsMillions)
+		}
+		// Monotone growth.
+		if i > 0 && (row.Open.Runtime <= rows[i-1].Open.Runtime || row.Tensor.Runtime <= rows[i-1].Tensor.Runtime) {
+			t.Fatal("memory not monotone in size")
+		}
+	}
+	if !rows[3].Open.OOM {
+		t.Fatalf("baseline at 128 M atoms uses %v GB — expected to exceed the 16 GB CG budget",
+			rows[3].Open.Runtime/(1<<30))
+	}
+	if rows[2].Open.OOM {
+		t.Fatal("baseline at 54 M atoms should still fit (paper ran it)")
+	}
+}
+
+// TestNeighDominatesBaseline: the neighbour lists are the baseline's
+// memory hog, the structural reason behind the paper's 0.70 kB/atom.
+func TestNeighDominatesBaseline(t *testing.T) {
+	row := OpenKMC(1e6, 112)
+	arrays := row.T + row.PosID + row.EV + row.ER + row.Lattice
+	if row.Neigh < 2*arrays {
+		t.Fatalf("neighbour lists (%v) do not dominate other arrays (%v)", row.Neigh, arrays)
+	}
+}
+
+// TestTensorKMCScalesWithVacanciesNotAtoms: doubling atoms at fixed
+// vacancy count adds only lattice bytes; doubling vacancies adds only
+// cache bytes.
+func TestTensorKMCScalesWithVacanciesNotAtoms(t *testing.T) {
+	tb := stdTables()
+	a := TensorKMC(1e6, 100, tb)
+	b := TensorKMC(2e6, 100, tb)
+	if d := b.Runtime - a.Runtime; d < 0.9e6 || d > 1.2e6 {
+		t.Fatalf("doubling atoms added %v bytes, want ≈1e6 (lattice only)", d)
+	}
+	c := TensorKMC(1e6, 200, tb)
+	perVac := (c.Runtime - a.Runtime) / 100 / runtimeOverhead
+	if perVac < float64(tb.NAll) || perVac > float64(tb.NAll)+300 {
+		t.Fatalf("per-vacancy cache cost %v bytes, want ≈NAll+bookkeeping", perVac)
+	}
+}
+
+// TestPerAtomBytes pins the per-atom statement: baseline hundreds of
+// bytes per atom (paper: 0.70 kB), TensorKMC near one byte per atom plus
+// the vacancy cache (paper: 0.10 kB — theirs carries more per-atom
+// state; the ≥5× reduction is the preserved shape).
+func TestPerAtomBytes(t *testing.T) {
+	open, tensor := PerAtomBytes(stdTables(), 8e-6)
+	if open < 200 || open > 400 {
+		t.Fatalf("baseline per-atom bytes %v, want ~280", open)
+	}
+	if tensor > 10 {
+		t.Fatalf("TensorKMC per-atom bytes %v, want ~1", tensor)
+	}
+	if open/tensor < 5 {
+		t.Fatalf("per-atom reduction %v×, want ≥5× (paper: 7×)", open/tensor)
+	}
+}
+
+// TestPaperScale54Trillion: at the paper's weak-scaling extreme (128 M
+// atoms per CG), TensorKMC's per-CG footprint must fit the 16 GB budget —
+// the feasibility claim behind the 54-trillion-atom run.
+func TestPaperScale54Trillion(t *testing.T) {
+	tb := stdTables()
+	row := TensorKMC(128e6, 128e6*8e-6, tb)
+	if row.OOM {
+		t.Fatalf("TensorKMC 128 M atoms/CG = %v GB, exceeds 16 GB", row.Runtime/(1<<30))
+	}
+}

@@ -1,0 +1,181 @@
+// Package mpi provides the message-passing substrate of the parallel
+// AKMC engine: a fixed-size world of ranks (goroutines) with typed
+// point-to-point channels, barriers, all-reduce and all-gather
+// collectives. It mirrors the subset of MPI the paper's swmpi code path
+// uses (point-to-point ghost synchronisation and collective reductions),
+// scaled to a single shared-memory process.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one tagged payload in flight.
+type message struct {
+	tag  int
+	data any
+}
+
+// World is a communicator over n ranks. Create it once, then hand each
+// goroutine its Comm via Comm(rank).
+type World struct {
+	size  int
+	chans [][]chan message // chans[from][to]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+
+	gather []any // all-gather staging, indexed by rank
+	reduce []float64
+}
+
+// NewWorld creates a world of n ranks with buffered channels.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", n))
+	}
+	w := &World{size: n, gather: make([]any, n), reduce: make([]float64, n)}
+	w.cond = sync.NewCond(&w.mu)
+	w.chans = make([][]chan message, n)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank r's endpoint.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range", r))
+	}
+	return &Comm{world: w, rank: r}
+}
+
+// Comm is one rank's communicator endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank `to` with a tag. Buffered: blocks only if
+// the destination queue is full (64 in-flight messages).
+func (c *Comm) Send(to, tag int, data any) {
+	c.world.chans[c.rank][to] <- message{tag: tag, data: data}
+}
+
+// Recv blocks for the next message from rank `from` and checks its tag.
+// Messages between a rank pair are FIFO; a tag mismatch indicates a
+// protocol error and panics.
+func (c *Comm) Recv(from, tag int) any {
+	m := <-c.world.chans[from][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	}
+	return m.data
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.mu.Lock()
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// AllGather collects one value from every rank; the returned slice is
+// indexed by rank and identical on all ranks. It must be called by all
+// ranks collectively.
+func (c *Comm) AllGather(v any) []any {
+	w := c.world
+	w.mu.Lock()
+	w.gather[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	out := make([]any, w.size)
+	copy(out, w.gather)
+	c.Barrier() // protect staging from the next collective
+	return out
+}
+
+// AllReduceSum returns the sum of v over all ranks. Collective.
+func (c *Comm) AllReduceSum(v float64) float64 {
+	w := c.world
+	w.mu.Lock()
+	w.reduce[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	var s float64
+	for _, x := range w.reduce {
+		s += x
+	}
+	c.Barrier()
+	return s
+}
+
+// AllReduceMax returns the maximum of v over all ranks. Collective.
+func (c *Comm) AllReduceMax(v float64) float64 {
+	w := c.world
+	w.mu.Lock()
+	w.reduce[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	m := w.reduce[0]
+	for _, x := range w.reduce[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	c.Barrier()
+	return m
+}
+
+// Run launches fn on every rank of a fresh world and waits for all to
+// finish. Panics in any rank are re-raised on the caller.
+func Run(n int, fn func(c *Comm)) {
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, 42)
+			got := c.Recv(1, 8).(int)
+			if got != 43 {
+				t.Errorf("rank 0 received %d, want 43", got)
+			}
+		} else {
+			v := c.Recv(0, 7).(int)
+			c.Send(0, 8, v+1)
+		}
+	})
+}
+
+func TestSendRecvFIFO(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				c.Send(1, 1, i)
+			}
+		} else {
+			for i := 0; i < 50; i++ {
+				if got := c.Recv(0, 1).(int); got != i {
+					t.Errorf("out of order: got %d want %d", got, i)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int32
+	Run(4, func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&before) != 4 {
+			t.Error("barrier released before all ranks arrived")
+		}
+		atomic.AddInt32(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&after) != 4 {
+			t.Error("second barrier released early")
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	var counter int32
+	Run(3, func(c *Comm) {
+		for i := 0; i < 20; i++ {
+			c.Barrier()
+			v := atomic.AddInt32(&counter, 1)
+			// After each barrier round, counter must stay within the
+			// round's bounds.
+			if int(v) > 3*(i+1) {
+				t.Error("barrier generations leaked")
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	Run(4, func(c *Comm) {
+		got := c.AllGather(c.Rank() * 10)
+		for r, v := range got {
+			if v.(int) != r*10 {
+				t.Errorf("AllGather[%d] = %v, want %d", r, v, r*10)
+			}
+		}
+	})
+}
+
+func TestAllGatherRepeated(t *testing.T) {
+	Run(3, func(c *Comm) {
+		for round := 0; round < 10; round++ {
+			got := c.AllGather(c.Rank() + round*100)
+			for r, v := range got {
+				if v.(int) != r+round*100 {
+					t.Errorf("round %d: AllGather[%d] = %v", round, r, v)
+				}
+			}
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	Run(5, func(c *Comm) {
+		sum := c.AllReduceSum(float64(c.Rank()))
+		if sum != 10 {
+			t.Errorf("AllReduceSum = %v, want 10", sum)
+		}
+		max := c.AllReduceMax(float64(c.Rank() * 3))
+		if max != 12 {
+			t.Errorf("AllReduceMax = %v, want 12", max)
+		}
+	})
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil || !strings.Contains(p.(string), "expected tag") {
+			t.Fatalf("expected tag-mismatch panic, got %v", p)
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "x")
+		} else {
+			c.Recv(0, 2)
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run swallowed a rank panic")
+		}
+	}()
+	Run(1, func(c *Comm) { panic("boom") })
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}

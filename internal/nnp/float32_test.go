@@ -1,0 +1,99 @@
+package nnp
+
+import (
+	"math"
+	"testing"
+
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+)
+
+func TestMatrix32Conversions(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.5
+	}
+	f := ToF32(m)
+	back := f.ToF64()
+	for i := range m.Data {
+		if math.Abs(back.Data[i]-m.Data[i]) > 1e-6 {
+			t.Fatal("conversion round trip lost precision")
+		}
+	}
+}
+
+// TestQuantizedForwardCloseToF64: single-precision inference must agree
+// with the float64 reference to the relative level KMC rates tolerate
+// (energy differences of ~1e-4 eV shift rates by exp(1e-4/2kT) ≈ 1.001).
+func TestQuantizedForwardCloseToF64(t *testing.T) {
+	n := NewNetwork([]int{64, 32, 16, 1}, rng.New(51))
+	q := n.Quantize()
+	r := rng.New(52)
+	x := NewMatrix(100, 64)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	want := n.Forward(x)
+	got := q.Forward(ToF32(x)).ToF64()
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-4*(1+math.Abs(want.Data[i])) {
+			t.Fatalf("sample %d: f32 %v vs f64 %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestQuantizedReluGate(t *testing.T) {
+	// A network driven to negative pre-activations must clamp in f32
+	// exactly like f64 (no systematic sign bias).
+	n := NewNetwork([]int{4, 8, 1}, rng.New(53))
+	for l := range n.Layers {
+		for i := range n.Layers[l].B {
+			n.Layers[l].B[i] = -10 // force dead units
+		}
+	}
+	q := n.Quantize()
+	x := NewMatrix(5, 4)
+	out := q.Forward(ToF32(x)).ToF64()
+	want := n.Forward(x)
+	for i := range out.Data {
+		if math.Abs(out.Data[i]-want.Data[i]) > 1e-5 {
+			t.Fatal("dead-unit network disagrees between precisions")
+		}
+	}
+}
+
+// TestPotential32Energies: the quantised potential's per-atom energies
+// must track the float64 potential through normalisation and reference
+// offsets.
+func TestPotential32Energies(t *testing.T) {
+	pot, tb, tab := stdPotential([]int{64, 16, 1}, 54)
+	pot.ERef = [lattice.NumElements]float64{-4.0, -3.5}
+	pot.FeatMean = make([]float64, pot.Desc.Dim())
+	pot.FeatStd = make([]float64, pot.Desc.Dim())
+	for i := range pot.FeatStd {
+		pot.FeatMean[i] = 0.5
+		pot.FeatStd[i] = 2.0
+	}
+	q := pot.Quantize()
+
+	vet := tb.NewVET()
+	for i := range vet {
+		vet[i] = lattice.Fe
+	}
+	vet[0] = lattice.Vacancy
+	// Collect raw features for a few Fe sites.
+	var feats [][]float64
+	for _, i := range []int{1, 5, 50} {
+		f := make([]float64, pot.Desc.Dim())
+		feature.ComputeSite(tb, tab, vet, i, f)
+		feats = append(feats, f)
+	}
+	got := q.AtomEnergies(int(lattice.Fe), feats)
+	for r, f := range feats {
+		want := pot.AtomEnergy(lattice.Fe, f)
+		if math.Abs(got[r]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("site %d: f32 energy %v vs f64 %v", r, got[r], want)
+		}
+	}
+}

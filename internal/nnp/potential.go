@@ -1,0 +1,198 @@
+package nnp
+
+import (
+	"fmt"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+)
+
+// Potential is the trained neural network potential: one energy head per
+// chemical element (TensorAlloy-style), a shared feature descriptor, and
+// the normalisation/reference constants fixed at training time.
+//
+// The per-atom energy of an atom of element e with raw feature vector x is
+//
+//	E_atom = Net_e((x − FeatMean)/FeatStd) + ERef_e
+//
+// and a configuration's energy is the sum over its atoms. Vacancies carry
+// no energy.
+type Potential struct {
+	Desc *feature.Descriptor
+	Nets [lattice.NumElements]*Network
+	// ERef is the per-element reference (cohesive-scale) energy added
+	// back to the network output; it centres the regression targets.
+	ERef [lattice.NumElements]float64
+	// FeatMean/FeatStd normalise raw features channel-wise. Nil means
+	// identity (used by freshly initialised potentials and tests).
+	FeatMean []float64
+	FeatStd  []float64
+}
+
+// NewPotential builds an untrained potential with independently
+// initialised per-element networks of the given layer sizes. sizes[0]
+// must equal the descriptor dimension.
+func NewPotential(desc *feature.Descriptor, sizes []int, r *rng.Stream) *Potential {
+	if sizes[0] != desc.Dim() {
+		panic(fmt.Sprintf("nnp: network input %d != descriptor dim %d", sizes[0], desc.Dim()))
+	}
+	if sizes[len(sizes)-1] != 1 {
+		panic("nnp: energy head must have one output")
+	}
+	p := &Potential{Desc: desc}
+	for e := range p.Nets {
+		p.Nets[e] = NewNetwork(sizes, r.Split(uint64(e)))
+	}
+	return p
+}
+
+// normalizeInto writes the normalised feature vector into dst.
+func (p *Potential) normalizeInto(dst, raw []float64) {
+	if p.FeatMean == nil {
+		copy(dst, raw)
+		return
+	}
+	for c, v := range raw {
+		dst[c] = (v - p.FeatMean[c]) / p.FeatStd[c]
+	}
+}
+
+// AtomEnergy evaluates one atom's energy from its raw feature vector.
+func (p *Potential) AtomEnergy(s lattice.Species, raw []float64) float64 {
+	if !s.IsAtom() {
+		return 0
+	}
+	x := NewMatrix(1, p.Desc.Dim())
+	p.normalizeInto(x.Data, raw)
+	out := p.Nets[s].Forward(x)
+	return out.Data[0] + p.ERef[s]
+}
+
+// Scratch holds reusable buffers for region-energy evaluation so the KMC
+// hot loop does not allocate. One Scratch per goroutine.
+type Scratch struct {
+	feats []float64 // site feature vector (Dim)
+	x     Matrix    // per-element batch input
+}
+
+// NewScratch sizes a scratch for the given tables/potential pair.
+func (p *Potential) NewScratch(tb *encoding.Tables) *Scratch {
+	return &Scratch{
+		feats: make([]float64, p.Desc.Dim()),
+		x:     NewMatrix(tb.NRegion, p.Desc.Dim()),
+	}
+}
+
+// RegionEnergy returns the total energy of the jumping region of a
+// vacancy system in state vet: the sum of per-atom energies over region
+// sites. Outer (N_out) sites only shape the features of region sites;
+// their own energies are invariant under any hop and therefore excluded
+// (Sec. 3.1). The evaluation batches atoms per element so each element
+// head runs one matmul — the structure the big-fusion operator executes
+// on CPEs.
+func (p *Potential) RegionEnergy(tb *encoding.Tables, tab *feature.Table, vet encoding.VET, s *Scratch) float64 {
+	if s == nil {
+		s = p.NewScratch(tb)
+	}
+	dim := p.Desc.Dim()
+	total := 0.0
+	for e := 0; e < lattice.NumElements; e++ {
+		rows := 0
+		for i := 0; i < tb.NRegion; i++ {
+			if vet[i] != lattice.Species(e) {
+				continue
+			}
+			feature.ComputeSite(tb, tab, vet, i, s.feats)
+			p.normalizeInto(s.x.Data[rows*dim:(rows+1)*dim], s.feats)
+			rows++
+		}
+		if rows == 0 {
+			continue
+		}
+		batch := Matrix{Rows: rows, Cols: dim, Data: s.x.Data[:rows*dim]}
+		out := p.Nets[e].Forward(batch)
+		for i := 0; i < rows; i++ {
+			total += out.Data[i]
+		}
+		total += float64(rows) * p.ERef[e]
+	}
+	return total
+}
+
+// HopEnergies computes the initial-state region energy and the energy of
+// each of the 8 candidate final states, the 1+N_f evaluation of Sec. 3.4.
+// Final states whose target site is not an atom (another vacancy) are
+// reported as NaN-free: valid[k] is false and final[k] is 0.
+func (p *Potential) HopEnergies(tb *encoding.Tables, tab *feature.Table, vet encoding.VET, s *Scratch) (initial float64, final [8]float64, valid [8]bool) {
+	initial = p.RegionEnergy(tb, tab, vet, s)
+	for k := 0; k < 8; k++ {
+		if !vet[tb.NN1Index[k]].IsAtom() {
+			continue
+		}
+		tb.ApplyHop(vet, k)
+		final[k] = p.RegionEnergy(tb, tab, vet, s)
+		valid[k] = true
+		tb.ApplyHop(vet, k)
+	}
+	return initial, final, valid
+}
+
+// StructureEnergy evaluates the total energy of a continuous periodic
+// structure (the training-time path).
+func (p *Potential) StructureEnergy(pos [][3]float64, spec []lattice.Species, cell [3]float64) float64 {
+	feats := p.Desc.ComputeStructure(pos, spec, cell)
+	total := 0.0
+	for i, s := range spec {
+		if s.IsAtom() {
+			total += p.AtomEnergy(s, feats[i])
+		}
+	}
+	return total
+}
+
+// StructureForces returns the analytic forces −∂E/∂x on every atom of a
+// continuous structure, chaining the network input gradients through the
+// descriptor derivative.
+func (p *Potential) StructureForces(pos [][3]float64, spec []lattice.Species, cell [3]float64) [][3]float64 {
+	feats := p.Desc.ComputeStructure(pos, spec, cell)
+	dim := p.Desc.Dim()
+	featGrad := make([][]float64, len(pos))
+	for i := range featGrad {
+		featGrad[i] = make([]float64, dim)
+	}
+	for e := 0; e < lattice.NumElements; e++ {
+		var idx []int
+		for i, s := range spec {
+			if s == lattice.Species(e) {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		x := NewMatrix(len(idx), dim)
+		for r, i := range idx {
+			p.normalizeInto(x.Row(r), feats[i])
+		}
+		out, tape := p.Nets[e].ForwardTape(x)
+		ones := NewMatrix(out.Rows, 1)
+		for i := range ones.Data {
+			ones.Data[i] = 1
+		}
+		inGrad, _ := p.Nets[e].Backward(tape, ones)
+		for r, i := range idx {
+			g := inGrad.Row(r)
+			for c := 0; c < dim; c++ {
+				// Chain through the normalisation: ∂x̂/∂x = 1/std.
+				if p.FeatStd != nil {
+					featGrad[i][c] = g[c] / p.FeatStd[c]
+				} else {
+					featGrad[i][c] = g[c]
+				}
+			}
+		}
+	}
+	return p.Desc.ComputeForces(pos, spec, cell, featGrad)
+}

@@ -1,0 +1,193 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func TestGrid3(t *testing.T) {
+	cases := map[int][3]int{
+		8:     {2, 2, 2},
+		12000: {20, 20, 30},
+		64:    {4, 4, 4},
+		1:     {1, 1, 1},
+	}
+	for p, want := range cases {
+		got := grid3(p)
+		if got[0]*got[1]*got[2] != p {
+			t.Fatalf("grid3(%d) = %v does not multiply out", p, got)
+		}
+		if p == 8 || p == 64 || p == 1 {
+			if got != want {
+				t.Errorf("grid3(%d) = %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := rng.New(5)
+	for _, lambda := range []float64{0.5, 4, 30, 500} {
+		var sum, sumSq float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := poisson(r, lambda)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/n)+0.05 {
+			t.Fatalf("λ=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.1 {
+			t.Fatalf("λ=%v: variance %v", lambda, variance)
+		}
+	}
+	if poisson(r, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+}
+
+// eventCostForTests returns the modelled SW(opt) per-event cost.
+func eventCostForTests() float64 {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	return SerialStep(SWOpt, tb, net).Total()
+}
+
+// TestStrongScalingShape pins the Fig. 12 shape: near-linear strong
+// scaling with parallel efficiency around 85% (paper: 85%) after the 32×
+// core increase, monotonically decreasing.
+func TestStrongScalingShape(t *testing.T) {
+	p := DefaultScalingParams(eventCostForTests())
+	pts := p.PaperStrongScaling()
+	if len(pts) != 6 {
+		t.Fatalf("want 6 strong-scaling points, got %d", len(pts))
+	}
+	if pts[0].CGs != 12000 || pts[0].Cores != 780000 {
+		t.Fatalf("baseline = %d CGs / %d cores, want 12000/780000", pts[0].CGs, pts[0].Cores)
+	}
+	if pts[len(pts)-1].Cores != 24960000 {
+		t.Fatalf("largest = %d cores, want 24,960,000", pts[len(pts)-1].Cores)
+	}
+	if math.Abs(pts[0].TotalAtoms-1.92e12) > 1e9 {
+		t.Fatalf("total atoms %v, want 1.92e12", pts[0].TotalAtoms)
+	}
+	if pts[0].Efficiency != 1 {
+		t.Fatal("baseline efficiency must be 1")
+	}
+	prev := 1.01
+	for _, pt := range pts {
+		if pt.Efficiency > prev+0.02 {
+			t.Fatalf("efficiency not (weakly) decreasing: %+v", pt)
+		}
+		prev = pt.Efficiency
+		if pt.WallTime <= 0 {
+			t.Fatal("non-positive wall time")
+		}
+	}
+	last := pts[len(pts)-1].Efficiency
+	if last < 0.70 || last > 0.97 {
+		t.Fatalf("strong-scaling efficiency at 384k CGs = %v, want ≈0.85 (paper)", last)
+	}
+	// Wall time must actually drop substantially with more CGs.
+	if pts[len(pts)-1].WallTime > pts[0].WallTime/15 {
+		t.Fatalf("strong scaling too weak: %v -> %v", pts[0].WallTime, pts[len(pts)-1].WallTime)
+	}
+}
+
+// TestWeakScalingShape pins the Fig. 13 shape: near-flat wall time up to
+// 422,400 CGs / 27,456,000 cores / 54.067 trillion atoms.
+func TestWeakScalingShape(t *testing.T) {
+	p := DefaultScalingParams(eventCostForTests())
+	pts := p.PaperWeakScaling()
+	last := pts[len(pts)-1]
+	if last.CGs != 422400 || last.Cores != 27456000 {
+		t.Fatalf("largest point %d CGs / %d cores", last.CGs, last.Cores)
+	}
+	if math.Abs(last.TotalAtoms-54.0672e12)/54e12 > 0.01 {
+		t.Fatalf("largest system %v atoms, want ≈54.067e12", last.TotalAtoms)
+	}
+	for _, pt := range pts {
+		if pt.Efficiency < 0.85 || pt.Efficiency > 1.05 {
+			t.Fatalf("weak-scaling efficiency %v at %d CGs, want near-flat ≥0.85", pt.Efficiency, pt.CGs)
+		}
+	}
+}
+
+// TestSerialComparisonShape pins the Fig. 11 shape: SW(opt) is roughly an
+// order of magnitude faster than x86 (paper: ≈11×) and than the
+// unoptimised SW build (paper: ≈17×); the unoptimised SW is slower than
+// x86; the short cutoff is cheaper than the standard one everywhere.
+func TestSerialComparisonShape(t *testing.T) {
+	hopRate := 8 * units.ArrheniusRate(units.EA0Fe, units.ReactorTemperature)
+	std := SerialComparison(units.LatticeConstantFe, units.CutoffStandard, hopRate)
+	short := SerialComparison(units.LatticeConstantFe, units.CutoffShort, hopRate)
+
+	x86, swBase, swOpt := std.Totals[X86], std.Totals[SW], std.Totals[SWOpt]
+	if !(swOpt < x86 && x86 < swBase) {
+		t.Fatalf("ordering wrong: x86=%v sw=%v sw(opt)=%v", x86, swBase, swOpt)
+	}
+	if r := x86 / swOpt; r < 5 || r > 25 {
+		t.Errorf("SW(opt) vs x86 speedup %v, paper reports ≈11×", r)
+	}
+	if r := swBase / swOpt; r < 8 || r > 35 {
+		t.Errorf("SW(opt) vs SW speedup %v, paper reports ≈17×", r)
+	}
+	for p := 0; p < 3; p++ {
+		if short.Totals[p] >= std.Totals[p] {
+			t.Errorf("platform %d: short cutoff not cheaper (%v vs %v)", p, short.Totals[p], std.Totals[p])
+		}
+	}
+
+	// Per-kernel shapes from Sec. 4.3: features on the MPE are ~5×
+	// slower than EPYC; on CPEs ~14× faster than EPYC; SW energy beats
+	// EPYC even unfused.
+	bx, bs, bo := std.Breakdown[X86], std.Breakdown[SW], std.Breakdown[SWOpt]
+	if r := bs.Feature / bx.Feature; r < 2.5 || r > 8 {
+		t.Errorf("MPE/EPYC feature ratio %v, paper ≈5", r)
+	}
+	if r := bx.Feature / bo.Feature; r < 8 || r > 25 {
+		t.Errorf("EPYC/CPE feature ratio %v, paper ≈14", r)
+	}
+	if bs.Energy >= bx.Energy {
+		t.Errorf("SW energy (%v) should beat EPYC (%v) (paper: ≈3×)", bs.Energy, bx.Energy)
+	}
+	if r := bs.Energy / bo.Energy; r < 1.5 {
+		t.Errorf("big-fusion energy gain %v, paper: cost reduced by ≈80%%", r)
+	}
+}
+
+func TestSerialStepBreakdownPositive(t *testing.T) {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	for _, p := range []Platform{X86, SW, SWOpt} {
+		b := SerialStep(p, tb, net)
+		if b.Feature <= 0 || b.Energy <= 0 || b.Other <= 0 {
+			t.Fatalf("%v: non-positive breakdown %+v", p, b)
+		}
+		if b.Total() != b.Feature+b.Energy+b.Other {
+			t.Fatal("Total inconsistent")
+		}
+	}
+	if X86.String() != "x86" || SWOpt.String() != "SW(opt)" || Platform(9).String() != "?" {
+		t.Fatal("Platform names wrong")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	p := DefaultScalingParams(1e-4)
+	p.TStop = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero TStop")
+		}
+	}()
+	p.Simulate([]int{8}, 1e-7, func(int) float64 { return 1e6 }, func(int) float64 { return 10 })
+}

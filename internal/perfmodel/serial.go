@@ -1,0 +1,118 @@
+package perfmodel
+
+import (
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fusion"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/sw"
+)
+
+// Platform identifies one column of the Fig. 11 serial comparison.
+type Platform int
+
+const (
+	// X86 is AMD EPYC 7452 with libtensorflow_cc (FusedConv2D),
+	// features computed sequentially on the CPU.
+	X86 Platform = iota
+	// SW is the new Sunway with TF/SWDNN: features on the MPE, energies
+	// with per-layer fused operators on CPEs.
+	SW
+	// SWOpt is TensorKMC's optimised path: features in parallel on
+	// CPEs, energies with the big-fusion operator.
+	SWOpt
+)
+
+// String implements fmt.Stringer.
+func (p Platform) String() string {
+	switch p {
+	case X86:
+		return "x86"
+	case SW:
+		return "SW"
+	case SWOpt:
+		return "SW(opt)"
+	}
+	return "?"
+}
+
+// StepBreakdown is the per-KMC-step wall time of one platform, split the
+// way Fig. 11 stacks its bars.
+type StepBreakdown struct {
+	Platform Platform
+	Feature  float64 // s per step: 1+8 states of region features
+	Energy   float64 // s per step: 1+8 states of NNP inference
+	Other    float64 // s per step: selection, residence time, bookkeeping
+}
+
+// Total returns the per-step wall time.
+func (b StepBreakdown) Total() float64 { return b.Feature + b.Energy + b.Other }
+
+// otherCost is the fixed per-step engine overhead (selection, cache
+// patching, clock update). Small relative to features+energy on every
+// platform.
+const otherCost = 30e-6
+
+// SerialStep models one KMC step (one vacancy propensity refresh: 1+8
+// states) on the given platform for the given encoding tables and
+// network architecture.
+func SerialStep(p Platform, tb *encoding.Tables, net *nnp.Network) StepBreakdown {
+	const states = 9
+	m := states * tb.NRegion
+
+	// Feature kernel: for every state, every region site accumulates
+	// NLocal neighbours × NDim channels (one table add each; counted as
+	// 2 flops for the add + table indexing).
+	nDim := net.InputDim() / 2
+	featureFlops := float64(states) * float64(tb.NRegion) * float64(tb.NLocal) * float64(nDim) * 2
+
+	var featArch, energyArch sw.Arch
+	var variant fusion.Variant
+	switch p {
+	case X86:
+		featArch, energyArch, variant = sw.EPYC(), sw.EPYC(), fusion.Fused
+	case SW:
+		featArch, energyArch, variant = sw.MPE(), sw.SW26010Pro(), fusion.Fused
+	case SWOpt:
+		featArch, energyArch, variant = sw.SW26010Pro(), sw.SW26010Pro(), fusion.BigFusion
+	}
+
+	x := nnp.NewMatrix(m, net.InputDim())
+	res := fusion.Run(variant, net, x, energyArch)
+
+	return StepBreakdown{
+		Platform: p,
+		Feature:  featureFlops / featArch.FeatureFlops,
+		Energy:   res.Seconds,
+		Other:    otherCost,
+	}
+}
+
+// SerialComparison reproduces the Fig. 11 benchmark: a 1×10⁻⁷ s
+// simulation of 128 million atoms (8×10⁻⁴ at.% vacancies) for both the
+// standard 6.5 Å and short 5.8 Å cutoffs on all three platforms. The
+// returned map is keyed by cutoff then platform; values are total wall
+// seconds for the whole benchmark.
+type SerialResult struct {
+	Rcut      float64
+	Steps     float64
+	Breakdown [3]StepBreakdown
+	Totals    [3]float64
+}
+
+// SerialComparison evaluates the three platforms at one cutoff.
+func SerialComparison(a float64, rcut float64, hopRate float64) SerialResult {
+	tb := encoding.New(a, rcut)
+	net := nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+	const atoms = 128e6
+	const vacFrac = 8e-6
+	const duration = 1e-7
+	steps := atoms * vacFrac * hopRate * duration
+	res := SerialResult{Rcut: rcut, Steps: steps}
+	for _, p := range []Platform{X86, SW, SWOpt} {
+		b := SerialStep(p, tb, net)
+		res.Breakdown[p] = b
+		res.Totals[p] = b.Total() * steps
+	}
+	return res
+}

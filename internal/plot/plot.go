@@ -1,0 +1,144 @@
+// Package plot renders simple text figures (horizontal bar charts and
+// line series) for the experiment reports of cmd/tkmc-bench — the
+// terminal equivalents of the paper's bar and line figures.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the bar (e.g. the paper's reference value).
+	Note string
+}
+
+// BarChart renders a horizontal bar chart. Values must be non-negative;
+// bars are scaled to width columns. When log is true, bar lengths are
+// proportional to log10(1+value/min), which keeps order-of-magnitude
+// ladders readable.
+func BarChart(title string, bars []Bar, width int, log bool) string {
+	if width < 8 {
+		width = 8
+	}
+	var maxV, minPos float64
+	minPos = math.Inf(1)
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if b.Value > 0 && b.Value < minPos {
+			minPos = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		n := 0
+		if maxV > 0 && b.Value > 0 {
+			frac := b.Value / maxV
+			if log && maxV > minPos {
+				frac = math.Log10(1+9*b.Value/minPos) / math.Log10(1+9*maxV/minPos)
+			}
+			n = int(frac*float64(width) + 0.5)
+			if n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4g", labelW, b.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), b.Value)
+		if b.Note != "" {
+			fmt.Fprintf(&sb, "  (%s)", b.Note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series renders one or more (x, y) series as an ASCII line plot of the
+// given size. X values must be ascending per series; series share axes.
+type SeriesData struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// LinePlot renders series onto a w×h character canvas with min/max
+// annotations. It is intentionally crude: the figures' content lives in
+// the tables, the plot shows the trend.
+func LinePlot(title string, series []SeriesData, w, h int) string {
+	if w < 16 {
+		w = 16
+	}
+	if h < 4 {
+		h = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(h-1))
+			canvas[h-1-cy][cx] = m
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	fmt.Fprintf(&sb, "y: %.4g .. %.4g\n", ymin, ymax)
+	for _, row := range canvas {
+		fmt.Fprintf(&sb, "|%s|\n", row)
+	}
+	fmt.Fprintf(&sb, "x: %.4g .. %.4g", xmin, xmax)
+	var legend []string
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", m, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "   [%s]", strings.Join(legend, " "))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

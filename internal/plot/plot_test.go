@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("speedups", []Bar{
+		{Label: "base", Value: 1, Note: "paper 1.00"},
+		{Label: "simd", Value: 20},
+		{Label: "big", Value: 120},
+	}, 40, false)
+	if !strings.Contains(out, "speedups") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "paper 1.00") {
+		t.Fatal("missing note")
+	}
+	// The largest value must have the longest bar.
+	if strings.Count(lines[3], "#") <= strings.Count(lines[2], "#") {
+		t.Fatal("bars not proportional")
+	}
+	// Linear scaling: base's bar is tiny relative to 120.
+	if strings.Count(lines[1], "#") > 2 {
+		t.Fatal("linear small bar too long")
+	}
+}
+
+func TestBarChartLogScale(t *testing.T) {
+	out := BarChart("", []Bar{
+		{Label: "a", Value: 1},
+		{Label: "b", Value: 10},
+		{Label: "c", Value: 100},
+	}, 40, true)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	na := strings.Count(lines[0], "#")
+	nb := strings.Count(lines[1], "#")
+	nc := strings.Count(lines[2], "#")
+	if !(na < nb && nb < nc) {
+		t.Fatalf("log bars not ordered: %d %d %d", na, nb, nc)
+	}
+	// Log scaling keeps the smallest bar visible.
+	if na < 5 {
+		t.Fatalf("log small bar invisible: %d", na)
+	}
+}
+
+func TestBarChartZeroAndNegativeWidths(t *testing.T) {
+	out := BarChart("t", []Bar{{Label: "z", Value: 0}}, 2, false)
+	if !strings.Contains(out, "z") {
+		t.Fatal("zero bar dropped")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	out := LinePlot("eff", []SeriesData{
+		{Name: "strong", Marker: 'o', X: []float64{1, 2, 4, 8}, Y: []float64{1, 0.95, 0.9, 0.85}},
+	}, 30, 6)
+	if !strings.Contains(out, "eff") || !strings.Contains(out, "o=strong") {
+		t.Fatal("missing title or legend")
+	}
+	if strings.Count(out, "o") < 4 {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "x: 1 .. 8") {
+		t.Fatalf("x range missing: %s", out)
+	}
+}
+
+func TestLinePlotDegenerate(t *testing.T) {
+	if out := LinePlot("empty", nil, 20, 5); !strings.Contains(out, "no data") {
+		t.Fatal("empty plot not handled")
+	}
+	// Constant series must not divide by zero.
+	out := LinePlot("", []SeriesData{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series not plotted")
+	}
+}

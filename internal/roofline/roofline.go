@@ -1,0 +1,94 @@
+// Package roofline implements the roofline analysis of Fig. 9: arithmetic
+// intensity and attainable performance of the NNP energy kernels on the
+// simulated Sunway core group.
+package roofline
+
+import (
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/sw"
+)
+
+// Point is one kernel on the roofline plot.
+type Point struct {
+	Name string
+	// Flops and Bytes are the kernel's floating-point work and main-
+	// memory traffic; Intensity = Flops/Bytes.
+	Flops     float64
+	Bytes     float64
+	Intensity float64
+	// Attainable is min(peak, intensity·bandwidth) in FLOP/s.
+	Attainable float64
+	// MemoryBound reports whether the kernel sits left of the machine
+	// balance point.
+	MemoryBound bool
+}
+
+// Attainable returns the roofline ceiling for the given intensity.
+func Attainable(a sw.Arch, intensity float64) float64 {
+	byBW := intensity * a.MemBandwidth
+	if byBW < a.PeakFlops {
+		return byBW
+	}
+	return a.PeakFlops
+}
+
+func point(a sw.Arch, name string, flops, bytes float64) Point {
+	p := Point{Name: name, Flops: flops, Bytes: bytes}
+	if bytes > 0 {
+		p.Intensity = flops / bytes
+	}
+	p.Attainable = Attainable(a, p.Intensity)
+	p.MemoryBound = p.Intensity < a.MachineBalance()
+	return p
+}
+
+// LayerPoints returns one roofline point per network layer for the
+// original per-layer fused operator (Conv2D+Bias+ReLU): each layer reads
+// its input and parameters from main memory and writes its output back.
+// Output traffic is counted write-allocate (read + write), which is what
+// reproduces the paper's per-layer intensity range of 0.48–21.3 for the
+// (64,128,128,128,64,1) network — the upper table of Fig. 9.
+func LayerPoints(a sw.Arch, net *nnp.Network, m int) []Point {
+	var out []Point
+	for l, layer := range net.Layers {
+		in, outW := layer.W.Rows, layer.W.Cols
+		flops := float64(2*m*in*outW) + float64(2*m*outW)
+		bytes := float64(m*in*4) + float64(2*m*outW*4) + float64((in*outW+outW)*4)
+		out = append(out, point(a, layerName(l, in, outW), flops, bytes))
+	}
+	return out
+}
+
+func layerName(l, in, out int) string {
+	return "layer" + string(rune('1'+l)) + " " + itoa(in) + "x" + itoa(out)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// BigFusionPoint returns the roofline point of the big-fusion operator:
+// all layers' work against just the first input, the last output, and
+// one pass of the parameters (Fig. 9's lower entry; the paper reports
+// 509.1 FLOP/B counting input+output only — both are far right of the
+// 43.63 FLOP/B machine balance).
+func BigFusionPoint(a sw.Arch, net *nnp.Network, m int) Point {
+	var flops float64
+	params := 0
+	for _, layer := range net.Layers {
+		flops += float64(2*m*layer.W.Rows*layer.W.Cols) + float64(2*m*layer.W.Cols)
+		params += (len(layer.W.Data) + len(layer.B)) * 4
+	}
+	bytes := float64(m*net.InputDim()*4) + float64(m*net.OutputDim()*4) + float64(params)
+	return point(a, "big-fusion", flops, bytes)
+}

@@ -1,0 +1,106 @@
+package roofline
+
+import (
+	"testing"
+
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/sw"
+)
+
+const m = 32 * 16 * 16 // the Fig. 9 example batch
+
+func paperNet() *nnp.Network {
+	return nnp.NewNetwork(nnp.StandardSizes, rng.New(1))
+}
+
+func TestAttainable(t *testing.T) {
+	a := sw.SW26010Pro()
+	// Below machine balance: bandwidth-limited.
+	if got := Attainable(a, 1.0); got != a.MemBandwidth {
+		t.Fatalf("Attainable(1) = %v, want bandwidth %v", got, a.MemBandwidth)
+	}
+	// Far above: peak-limited.
+	if got := Attainable(a, 1e6); got != a.PeakFlops {
+		t.Fatalf("Attainable(1e6) = %v, want peak", got)
+	}
+}
+
+// TestLayerIntensities pins the Fig. 9 upper-table shape: per-layer
+// intensities of the original fused operator range from ~0.5 (the thin
+// last layer) to ~21 (the widest layers), all below the 43.63 machine
+// balance — memory-bound.
+func TestLayerIntensities(t *testing.T) {
+	a := sw.SW26010Pro()
+	pts := LayerPoints(a, paperNet(), m)
+	if len(pts) != 5 {
+		t.Fatalf("expected 5 layers, got %d", len(pts))
+	}
+	min, max := pts[0].Intensity, pts[0].Intensity
+	for _, p := range pts {
+		if !p.MemoryBound {
+			t.Fatalf("layer %s unexpectedly compute-bound (intensity %v)", p.Name, p.Intensity)
+		}
+		if p.Intensity < min {
+			min = p.Intensity
+		}
+		if p.Intensity > max {
+			max = p.Intensity
+		}
+		if p.Attainable != p.Intensity*a.MemBandwidth {
+			t.Fatalf("layer %s attainable not bandwidth-limited", p.Name)
+		}
+	}
+	if min < 0.4 || min > 0.6 {
+		t.Errorf("min layer intensity %v, paper reports 0.48", min)
+	}
+	if max < 19 || max > 23 {
+		t.Errorf("max layer intensity %v, paper reports 21.3", max)
+	}
+}
+
+// TestBigFusionIntensity pins the Fig. 9 conclusion: the big-fusion
+// operator sits far right of the machine balance (paper: 509.1 FLOP/B
+// counting input+output traffic) and is compute-bound at peak.
+func TestBigFusionIntensity(t *testing.T) {
+	a := sw.SW26010Pro()
+	p := BigFusionPoint(a, paperNet(), m)
+	if p.MemoryBound {
+		t.Fatalf("big-fusion memory-bound at intensity %v", p.Intensity)
+	}
+	if p.Intensity < 300 || p.Intensity > 600 {
+		t.Errorf("big-fusion intensity %v, paper reports 509.1 (ours counts parameter traffic too)", p.Intensity)
+	}
+	if p.Attainable != a.PeakFlops {
+		t.Fatal("big-fusion attainable should be the peak")
+	}
+}
+
+// TestIntensityRatio: moving to big-fusion must raise intensity by more
+// than an order of magnitude over the best single layer.
+func TestIntensityRatio(t *testing.T) {
+	a := sw.SW26010Pro()
+	pts := LayerPoints(a, paperNet(), m)
+	big := BigFusionPoint(a, paperNet(), m)
+	best := 0.0
+	for _, p := range pts {
+		if p.Intensity > best {
+			best = p.Intensity
+		}
+	}
+	if big.Intensity < 10*best {
+		t.Fatalf("big-fusion intensity %v not ≫ best layer %v", big.Intensity, best)
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	pts := LayerPoints(sw.SW26010Pro(), paperNet(), m)
+	for _, p := range pts {
+		if p.Name == "" {
+			t.Fatal("empty point name")
+		}
+	}
+	if pts[0].Name != "layer1 64x128" {
+		t.Fatalf("unexpected name %q", pts[0].Name)
+	}
+}

@@ -1,0 +1,164 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"tensorkmc/internal/dataset"
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// smallDataset generates a compact train/test pair shared by the tests.
+func smallDataset(t *testing.T, n, nTrain int) (train, test []dataset.Structure) {
+	t.Helper()
+	oracle := eam.New(eam.Default())
+	cfg := dataset.DefaultConfig()
+	structs := dataset.Generate(n, oracle, cfg, rng.New(100))
+	return dataset.Split(structs, nTrain, rng.New(101))
+}
+
+// TestFitLearnsOracle is the miniature Fig. 7: a small network trained on
+// synthetic-oracle labels must reach few-meV/atom energy errors and high
+// parity R² on held-out structures.
+func TestFitLearnsOracle(t *testing.T) {
+	train, test := smallDataset(t, 48, 40)
+	desc := feature.Standard(units.CutoffStandard)
+	var lastMAE float64
+	pot, err := Fit(train, desc, Options{
+		Sizes:           []int{64, 32, 16, 1},
+		Epochs:          350,
+		BatchStructures: 10,
+		LR:              3e-3,
+		WeightDecay:     3e-5,
+		ForceWeight:     0.5,
+		Seed:            7,
+		Progress:        func(_ int, mae float64) { lastMAE = mae },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastMAE > 0.03 {
+		t.Fatalf("training MAE %v eV/atom, want < 0.03", lastMAE)
+	}
+	m := Evaluate(pot, test)
+	// This is a deliberately small run (40 structures); the full Fig. 7
+	// configuration in cmd/tkmc-bench reaches few-meV/atom MAE, energy
+	// R² ≈ 0.98+ and force R² ≈ 0.9. Thresholds here only guard against
+	// regressions in the pipeline.
+	if m.EnergyMAE > 0.02 {
+		t.Fatalf("test energy MAE = %v eV/atom, want < 0.02", m.EnergyMAE)
+	}
+	if m.EnergyR2 < 0.9 {
+		t.Fatalf("test energy R² = %v, want > 0.9", m.EnergyR2)
+	}
+	if m.ForceR2 < 0.3 {
+		t.Fatalf("test force R² = %v, want > 0.3", m.ForceR2)
+	}
+	if m.EnergyRMSE < m.EnergyMAE {
+		t.Fatalf("RMSE %v < MAE %v is impossible", m.EnergyRMSE, m.EnergyMAE)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	train, _ := smallDataset(t, 12, 10)
+	desc := feature.Standard(units.CutoffStandard)
+	opt := Options{Sizes: []int{64, 8, 1}, Epochs: 5, BatchStructures: 5, LR: 1e-3, Seed: 3}
+	a, err := Fit(train, desc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(train, desc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &train[0]
+	ea := a.StructureEnergy(s.Pos, s.Spec, s.Cell)
+	eb := b.StructureEnergy(s.Pos, s.Spec, s.Cell)
+	if ea != eb {
+		t.Fatalf("same seed trained different potentials: %v vs %v", ea, eb)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	if _, err := Fit(nil, desc, DefaultOptions()); err == nil {
+		t.Fatal("Fit accepted empty dataset")
+	}
+	train, _ := smallDataset(t, 4, 3)
+	if _, err := Fit(train, desc, Options{Sizes: []int{64, 1}, Epochs: 0, BatchStructures: 1, LR: 1e-3}); err == nil {
+		t.Fatal("Fit accepted zero epochs")
+	}
+	if _, err := Fit(train, desc, Options{Sizes: []int{64, 1}, Epochs: 1, BatchStructures: 0, LR: 1e-3}); err == nil {
+		t.Fatal("Fit accepted zero batch size")
+	}
+}
+
+func TestFitReferences(t *testing.T) {
+	// Synthetic structures with exactly linear energies must be
+	// reproduced by the reference fit.
+	var structs []dataset.Structure
+	const eFe, eCu = -4.2, -3.6
+	r := rng.New(8)
+	for i := 0; i < 10; i++ {
+		nFe := 40 + r.Intn(20)
+		nCu := 1 + r.Intn(20)
+		s := dataset.Structure{}
+		for j := 0; j < nFe; j++ {
+			s.Spec = append(s.Spec, lattice.Fe)
+			s.Pos = append(s.Pos, [3]float64{})
+		}
+		for j := 0; j < nCu; j++ {
+			s.Spec = append(s.Spec, lattice.Cu)
+			s.Pos = append(s.Pos, [3]float64{})
+		}
+		s.Energy = float64(nFe)*eFe + float64(nCu)*eCu
+		structs = append(structs, s)
+	}
+	gotFe, gotCu := fitReferences(structs)
+	if math.Abs(gotFe-eFe) > 1e-9 || math.Abs(gotCu-eCu) > 1e-9 {
+		t.Fatalf("fitReferences = (%v, %v), want (%v, %v)", gotFe, gotCu, eFe, eCu)
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	feats := [][]float64{{1, 10}, {3, 10}}
+	mean, std := channelStats(feats, 2)
+	if mean[0] != 2 || mean[1] != 10 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if std[0] != 1 {
+		t.Fatalf("std[0] = %v, want 1", std[0])
+	}
+	// Zero-variance channel falls back to 1 to avoid division by zero.
+	if std[1] != 1 {
+		t.Fatalf("std[1] = %v, want fallback 1", std[1])
+	}
+}
+
+// TestCosineDecayImprovesConvergence: annealing the learning rate must
+// not hurt (and typically helps) the final training error on the same
+// budget.
+func TestCosineDecayImprovesConvergence(t *testing.T) {
+	train, test := smallDataset(t, 24, 20)
+	desc := feature.Standard(units.CutoffStandard)
+	base := Options{Sizes: []int{64, 16, 1}, Epochs: 80, BatchStructures: 10, LR: 3e-3, Seed: 5}
+	fit := func(decay bool) float64 {
+		opt := base
+		opt.CosineDecay = decay
+		pot, err := Fit(train, desc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(pot, test).EnergyMAE
+	}
+	flat := fit(false)
+	cos := fit(true)
+	t.Logf("test MAE: constant LR %.2f meV/atom, cosine %.2f meV/atom", flat*1e3, cos*1e3)
+	if cos > flat*1.5 {
+		t.Fatalf("cosine decay markedly hurt convergence: %v vs %v", cos, flat)
+	}
+}

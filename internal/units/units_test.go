@@ -1,0 +1,81 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBeta(t *testing.T) {
+	b := Beta(573)
+	want := 1.0 / (KB * 573)
+	if math.Abs(b-want) > 1e-12 {
+		t.Fatalf("Beta(573) = %v, want %v", b, want)
+	}
+	// kT at 573 K should be about 49.4 meV.
+	kt := 1 / b
+	if kt < 0.049 || kt > 0.050 {
+		t.Fatalf("kT at 573 K = %v eV, want ~0.0494 eV", kt)
+	}
+}
+
+func TestArrheniusRateMagnitude(t *testing.T) {
+	// A pure-Fe hop barrier of 0.65 eV at 573 K yields a rate of order
+	// 1e7/s; this anchors the simulated-time scale of the whole code.
+	r := ArrheniusRate(EA0Fe, ReactorTemperature)
+	if r < 1e6 || r > 1e8 {
+		t.Fatalf("Fe hop rate at 573K = %v, want order 1e7", r)
+	}
+}
+
+func TestArrheniusRateClamping(t *testing.T) {
+	if got := ArrheniusRate(-0.5, 573); got != AttemptFrequency {
+		t.Fatalf("negative barrier rate = %v, want Γ₀ = %v", got, AttemptFrequency)
+	}
+	if got := ArrheniusRate(0, 573); got != AttemptFrequency {
+		t.Fatalf("zero barrier rate = %v, want Γ₀", got)
+	}
+}
+
+func TestArrheniusRateMonotonicity(t *testing.T) {
+	prev := math.Inf(1)
+	for ea := 0.1; ea <= 2.0; ea += 0.1 {
+		r := ArrheniusRate(ea, 573)
+		if r >= prev {
+			t.Fatalf("rate not decreasing in Ea at Ea=%v: %v >= %v", ea, r, prev)
+		}
+		prev = r
+	}
+	tPrev := 0.0
+	for temp := 100.0; temp <= 1200; temp += 100 {
+		r := ArrheniusRate(0.65, temp)
+		if r <= tPrev {
+			t.Fatalf("rate not increasing in T at T=%v", temp)
+		}
+		tPrev = r
+	}
+}
+
+func TestMigrationEnergy(t *testing.T) {
+	// Eq. (2): Ea = Ea0 + ΔE/2.
+	if got := MigrationEnergy(0.65, 0.2); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("MigrationEnergy = %v, want 0.75", got)
+	}
+	if got := MigrationEnergy(0.56, -0.3); math.Abs(got-0.41) > 1e-15 {
+		t.Fatalf("MigrationEnergy = %v, want 0.41", got)
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	// Forward and reverse hops between states with energy difference ΔE
+	// must satisfy Γ_f/Γ_r = exp(−ΔE/kT) when both barriers are positive,
+	// which is what makes equilibrium distributions Boltzmann.
+	const dE = 0.12
+	const temp = 573.0
+	f := ArrheniusRate(MigrationEnergy(EA0Fe, dE), temp)
+	r := ArrheniusRate(MigrationEnergy(EA0Fe, -dE), temp)
+	ratio := f / r
+	want := math.Exp(-dE * Beta(temp))
+	if math.Abs(ratio-want)/want > 1e-12 {
+		t.Fatalf("detailed balance violated: ratio=%v want %v", ratio, want)
+	}
+}
