@@ -299,7 +299,7 @@ func BenchmarkParallelSublattice(b *testing.B) {
 		b.StopTimer()
 		box := mkBox()
 		b.StartTimer()
-		_ = sublattice.Run(box, cfg, 4e-8, factory)
+		_, _ = sublattice.Run(box, cfg, 4e-8, factory)
 	}
 }
 
@@ -435,7 +435,7 @@ func BenchmarkAblationTstop(b *testing.B) {
 				box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
 				lattice.FillRandomAlloy(box, 0.02, 0.001, rng.New(19))
 				b.StartTimer()
-				_ = sublattice.Run(box, cfg, 8e-8, factory)
+				_, _ = sublattice.Run(box, cfg, 8e-8, factory)
 			}
 		})
 	}

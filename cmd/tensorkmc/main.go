@@ -82,9 +82,9 @@ func run(path string, quiet bool) error {
 		}
 	}
 	if deck.CheckpointFile != "" {
-		if err := sim.Box().SaveFile(deck.CheckpointFile); err != nil {
-			return err
-		}
+		// Run checkpoints crash-safely after every interval (the deck's
+		// checkpoint_every, or each snapshot segment); the file on disk
+		// is already the final state.
 		fmt.Printf("tensorkmc: checkpoint written to %s\n", deck.CheckpointFile)
 	}
 	fmt.Printf("tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",

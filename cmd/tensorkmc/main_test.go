@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/core"
 )
 
 // TestRunDeckEndToEnd drives the CLI's run path with a real deck,
@@ -38,13 +38,16 @@ checkpoint   ` + ckpt + `
 			t.Fatalf("expected output %s: %v", p, err)
 		}
 	}
-	box, err := lattice.LoadBoxFile(ckpt)
+	ck, err := core.LoadCheckpointFile(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe, cu, vac := box.Count()
+	fe, cu, vac := ck.Box.Count()
 	if fe+cu+vac != 2000 || cu == 0 || vac == 0 {
 		t.Fatalf("checkpoint contents implausible: %d/%d/%d", fe, cu, vac)
+	}
+	if ck.Time != 2e-8 || !ck.HasRNG {
+		t.Fatalf("checkpoint is not full-state: time=%v hasRNG=%v", ck.Time, ck.HasRNG)
 	}
 
 	// Restart from the checkpoint and continue.

@@ -16,7 +16,7 @@ import (
 	"sort"
 
 	"tensorkmc/internal/cluster"
-	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/core"
 )
 
 func main() {
@@ -36,13 +36,19 @@ func main() {
 }
 
 func run(w io.Writer, boxPath string, shells int, xyzPath string, fullXYZ bool) error {
-	box, err := lattice.LoadBoxFile(boxPath)
+	// Accept both full-state TKMCBOX2 checkpoints and legacy TKMCBOX1
+	// box snapshots.
+	ck, err := core.LoadCheckpointFile(boxPath)
 	if err != nil {
 		return err
 	}
+	box := ck.Box
 	fe, cu, vac := box.Count()
 	fmt.Fprintf(w, "box: %dx%dx%d cells (%d sites), a = %.3f A\n",
 		box.Nx, box.Ny, box.Nz, box.NumSites(), box.A)
+	if ck.Time > 0 || ck.Hops > 0 {
+		fmt.Fprintf(w, "checkpoint: t = %.4g s, %d hops\n", ck.Time, ck.Hops)
+	}
 	fmt.Fprintf(w, "composition: %d Fe (%.3f%%), %d Cu (%.3f%%), %d vacancies (%.4f%%)\n",
 		fe, pct(fe, box.NumSites()), cu, pct(cu, box.NumSites()), vac, pct(vac, box.NumSites()))
 

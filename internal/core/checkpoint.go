@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tensorkmc/internal/fault"
+	"tensorkmc/internal/lattice"
+)
+
+// Checkpoint format ("TKMCBOX2"): the full simulation state needed to
+// resume a run bit-exactly, not just the species array the legacy
+// TKMCBOX1 snapshot carries. Layout, all little-endian:
+//
+//	magic   "TKMCBOX2"                     8 bytes
+//	time    float64                        simulated seconds
+//	hops    int64                          executed hop count
+//	segment uint64                         parallel segment counter
+//	flags   uint8                          bit0: RNG state present
+//	rng     4 × uint64                     xoshiro256** state (if bit0)
+//	nvac    int64                          tracked vacancies in slot order
+//	vac     nvac × 3 × int64               half-unit lattice coordinates
+//	boxLen  int64                          length of the embedded snapshot
+//	box     boxLen bytes                   a complete TKMCBOX1 blob
+//	crc     uint32                         IEEE CRC-32 of everything above
+//
+// A checkpoint must end exactly at the CRC trailer; trailing bytes are
+// rejected, and any corruption of the body fails the CRC check instead
+// of silently loading garbage state.
+const checkpointMagic = "TKMCBOX2"
+
+// maxBoxBlob bounds the embedded snapshot a header may demand before
+// any payload is read (the snapshot itself re-validates its own header).
+const maxBoxBlob = 1 << 29
+
+// maxCheckpointVacancies bounds the vacancy-order table. Real boxes are
+// dilute (the paper uses 8e-6 vacancy fraction), so this is generous.
+const maxCheckpointVacancies = 1 << 24
+
+// Checkpoint is the full resumable state of a Simulation.
+type Checkpoint struct {
+	// Box is the lattice state.
+	Box *lattice.Box
+	// Time is the simulated clock in seconds.
+	Time float64
+	// Hops is the executed hop count.
+	Hops int64
+	// Segment is the parallel run-segment counter (each segment
+	// reseeds with Seed + segment).
+	Segment uint64
+	// HasRNG reports whether RNG carries a serial-engine stream state.
+	HasRNG bool
+	// RNG is the serial engine's xoshiro256** state at capture time.
+	RNG [4]uint64
+	// Vacancies is the serial engine's vacancy slot order at capture
+	// time. Slot order is part of the trajectory contract (event
+	// selection indexes cumulative propensity ranges by slot), so a
+	// bit-exact resume must restore it. Nil for parallel checkpoints,
+	// whose ranks rebuild deterministically from the box scan.
+	Vacancies []lattice.Vec
+}
+
+// Save writes the checkpoint to w in TKMCBOX2 format.
+func (c *Checkpoint) Save(w io.Writer) error {
+	if c.Box == nil {
+		return fmt.Errorf("core: checkpoint has no box")
+	}
+	var blob bytes.Buffer
+	if err := c.Box.Save(&blob); err != nil {
+		return fmt.Errorf("core: serialising box: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(w)
+	mw := io.MultiWriter(bw, crc)
+	if _, err := mw.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	flags := uint8(0)
+	if c.HasRNG {
+		flags |= 1
+	}
+	fields := []any{c.Time, c.Hops, c.Segment, flags}
+	if c.HasRNG {
+		fields = append(fields, c.RNG[0], c.RNG[1], c.RNG[2], c.RNG[3])
+	}
+	fields = append(fields, int64(len(c.Vacancies)))
+	for _, v := range c.Vacancies {
+		fields = append(fields, int64(v.X), int64(v.Y), int64(v.Z))
+	}
+	fields = append(fields, int64(blob.Len()))
+	for _, f := range fields {
+		if err := binary.Write(mw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	if _, err := mw.Write(blob.Bytes()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the checkpoint crash-safely: temp file, fsync, atomic
+// rename, with the previous checkpoint rotated to path+".bak" so an
+// injected or real failure mid-write always leaves a loadable last-good
+// state behind.
+func (c *Checkpoint) SaveFile(path string) error {
+	return fault.WriteFileAtomic(path, true, c.Save)
+}
+
+// LoadCheckpoint reads a TKMCBOX2 checkpoint. Legacy TKMCBOX1 box
+// snapshots are accepted and yield a box-only checkpoint (zero clock,
+// no RNG state), so pre-existing restart files keep working.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if string(magic) == "TKMCBOX1" {
+		box, err := lattice.LoadBox(io.MultiReader(bytes.NewReader(magic), br))
+		if err != nil {
+			return nil, fmt.Errorf("core: legacy snapshot: %w", err)
+		}
+		return &Checkpoint{Box: box}, nil
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(magic)
+	tr := io.TeeReader(br, crc)
+
+	c := &Checkpoint{}
+	var flags uint8
+	for _, f := range []any{&c.Time, &c.Hops, &c.Segment, &flags} {
+		if err := binary.Read(tr, binary.LittleEndian, f); err != nil {
+			return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
+		}
+	}
+	if flags&^uint8(1) != 0 {
+		return nil, fmt.Errorf("core: unknown checkpoint flags %#x", flags)
+	}
+	if flags&1 != 0 {
+		c.HasRNG = true
+		for i := range c.RNG {
+			if err := binary.Read(tr, binary.LittleEndian, &c.RNG[i]); err != nil {
+				return nil, fmt.Errorf("core: reading RNG state: %w", err)
+			}
+		}
+	}
+	var nvac int64
+	if err := binary.Read(tr, binary.LittleEndian, &nvac); err != nil {
+		return nil, fmt.Errorf("core: reading vacancy count: %w", err)
+	}
+	if nvac < 0 || nvac > maxCheckpointVacancies {
+		return nil, fmt.Errorf("core: implausible vacancy count %d", nvac)
+	}
+	if nvac > 0 {
+		c.Vacancies = make([]lattice.Vec, nvac)
+		for i := range c.Vacancies {
+			var xyz [3]int64
+			for j := range xyz {
+				if err := binary.Read(tr, binary.LittleEndian, &xyz[j]); err != nil {
+					return nil, fmt.Errorf("core: reading vacancy %d: %w", i, err)
+				}
+			}
+			c.Vacancies[i] = lattice.Vec{X: int(xyz[0]), Y: int(xyz[1]), Z: int(xyz[2])}
+		}
+	}
+	var boxLen int64
+	if err := binary.Read(tr, binary.LittleEndian, &boxLen); err != nil {
+		return nil, fmt.Errorf("core: reading box length: %w", err)
+	}
+	if boxLen <= 0 || boxLen > maxBoxBlob {
+		return nil, fmt.Errorf("core: implausible box blob length %d", boxLen)
+	}
+	blob := make([]byte, boxLen)
+	if _, err := io.ReadFull(tr, blob); err != nil {
+		return nil, fmt.Errorf("core: reading box blob: %w", err)
+	}
+	var stored uint32
+	sum := crc.Sum32() // everything up to, not including, the trailer
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("core: reading checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("core: checkpoint checksum mismatch: stored %#08x, computed %#08x", stored, sum)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("core: trailing garbage after checkpoint trailer")
+	}
+	box, err := lattice.LoadBox(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("core: embedded box: %w", err)
+	}
+	for _, v := range c.Vacancies {
+		if box.Get(box.Wrap(v)) != lattice.Vacancy {
+			return nil, fmt.Errorf("core: checkpoint vacancy order names %v, which is not a vacancy in the box", v)
+		}
+	}
+	c.Box = box
+	return c, nil
+}
+
+// LoadCheckpointFile reads a checkpoint from a path.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// LoadCheckpointOrBackup reads the checkpoint at path, falling back to
+// the rotated last-good copy at path+".bak" when the primary is
+// missing, truncated or corrupt — the recovery path after a crash
+// mid-write. The error, when both fail, reports both causes.
+func LoadCheckpointOrBackup(path string) (*Checkpoint, error) {
+	c, err := LoadCheckpointFile(path)
+	if err == nil {
+		return c, nil
+	}
+	bak, bakErr := LoadCheckpointFile(path + ".bak")
+	if bakErr == nil {
+		return bak, nil
+	}
+	if errors.Is(bakErr, os.ErrNotExist) {
+		return nil, fmt.Errorf("core: loading checkpoint %s: %w (no backup present)", path, err)
+	}
+	return nil, fmt.Errorf("core: loading checkpoint %s: %w (backup also failed: %v)", path, err, bakErr)
+}
+
+// Checkpoint captures the simulation's full resumable state.
+func (s *Simulation) Checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		Box:     s.box.Clone(),
+		Time:    s.Time(),
+		Hops:    s.Hops(),
+		Segment: s.segment,
+	}
+	if s.engine != nil {
+		c.HasRNG = true
+		c.RNG = s.engine.RNG().State()
+		c.Vacancies = s.engine.VacancyCenters()
+	}
+	return c
+}
+
+// SaveCheckpoint writes the current state crash-safely to path (see
+// Checkpoint.SaveFile).
+func (s *Simulation) SaveCheckpoint(path string) error {
+	return s.Checkpoint().SaveFile(path)
+}
+
+// restore applies a loaded checkpoint to a freshly built simulation.
+func (s *Simulation) restore(c *Checkpoint) error {
+	s.segment = c.Segment
+	if s.engine == nil {
+		s.time = c.Time
+		s.hops = c.Hops
+		return nil
+	}
+	// Order matters: the slot order must be imposed before the clock,
+	// because SetVacancyOrder refuses engines that have stepped.
+	if c.Vacancies != nil {
+		if err := s.engine.SetVacancyOrder(c.Vacancies); err != nil {
+			return fmt.Errorf("core: restoring vacancy order: %w", err)
+		}
+	}
+	if c.HasRNG {
+		if err := s.engine.RNG().Restore(c.RNG); err != nil {
+			return fmt.Errorf("core: restoring RNG state: %w", err)
+		}
+	}
+	s.engine.Restore(c.Time, c.Hops)
+	return nil
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tensorkmc/internal/bondcount"
 	"tensorkmc/internal/cluster"
@@ -14,6 +15,7 @@ import (
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/mpi"
 	"tensorkmc/internal/nnp"
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/sublattice"
@@ -72,6 +74,26 @@ type Config struct {
 	// alloy fill — the checkpoint/restart path. Cells, LatticeConstant,
 	// CuFraction and VacancyFraction are then taken from the box.
 	InitialBox *lattice.Box
+
+	// Restart, if non-nil, resumes the simulation from a full-state
+	// checkpoint: box, clock, hop count, segment counter and (serial)
+	// RNG state. It takes precedence over InitialBox.
+	Restart *Checkpoint
+
+	// CheckpointPath, if non-empty, makes Run write a crash-safe
+	// TKMCBOX2 checkpoint (atomic rename, last-good .bak rotation)
+	// every CheckpointEvery simulated seconds and at the end of each
+	// Run call. CheckpointEvery <= 0 means only at the end of Run.
+	CheckpointPath  string
+	CheckpointEvery float64
+
+	// ExchangeTimeout bounds each parallel sector exchange; on expiry
+	// the sweep aborts with a diagnostic naming the stalled ranks
+	// instead of hanging. Zero means wait forever.
+	ExchangeTimeout time.Duration
+	// Chaos, if non-nil, is a fault interposer for the parallel
+	// message fabric (testing only).
+	Chaos *mpi.Chaos
 }
 
 func (c *Config) applyDefaults() {
@@ -114,6 +136,12 @@ type Simulation struct {
 // encoding tables and the potential evaluator, and (for serial runs)
 // the engine.
 func New(cfg Config) (*Simulation, error) {
+	if cfg.Restart != nil {
+		if cfg.Restart.Box == nil {
+			return nil, fmt.Errorf("core: restart checkpoint has no box")
+		}
+		cfg.InitialBox = cfg.Restart.Box
+	}
 	if cfg.InitialBox != nil {
 		cfg.Cells = [3]int{cfg.InitialBox.Nx, cfg.InitialBox.Ny, cfg.InitialBox.Nz}
 		cfg.LatticeConstant = cfg.InitialBox.A
@@ -159,6 +187,11 @@ func New(cfg Config) (*Simulation, error) {
 
 	if !cfg.parallel() {
 		s.engine = kmc.NewEngine(s.box, s.model, cfg.Temperature, rng.New(cfg.Seed).Split(1), cfg.Options)
+	}
+	if cfg.Restart != nil {
+		if err := s.restore(cfg.Restart); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -207,6 +240,44 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 	if duration < 0 {
 		return Report{}, fmt.Errorf("core: negative duration")
 	}
+	if s.Cfg.CheckpointPath != "" {
+		// Slice the run into checkpoint intervals, persisting crash-safe
+		// state after each. The slicing itself is part of the trajectory
+		// (a serial Step consumes draws even for clipped events), so it
+		// is derived deterministically from the configuration: the same
+		// deck resumes the same trajectory.
+		remaining := duration
+		for remaining > 0 {
+			chunk := remaining
+			if s.Cfg.CheckpointEvery > 0 && s.Cfg.CheckpointEvery < chunk {
+				chunk = s.Cfg.CheckpointEvery
+			}
+			if err := s.runChunk(chunk, observer); err != nil {
+				return Report{}, err
+			}
+			if err := s.SaveCheckpoint(s.Cfg.CheckpointPath); err != nil {
+				return Report{}, fmt.Errorf("core: writing checkpoint: %w", err)
+			}
+			remaining -= chunk
+			// Swallow float dust from repeated subtraction so the last
+			// interval does not spawn a zero-length chunk (and a
+			// duplicate checkpoint) for a few ulps of residue.
+			if remaining <= duration*1e-12 {
+				remaining = 0
+			}
+		}
+	} else if err := s.runChunk(duration, observer); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Duration: duration,
+		Hops:     s.Hops(),
+		Analysis: cluster.Analyze(s.box, 2),
+	}, nil
+}
+
+// runChunk advances the simulation by one uninterrupted interval.
+func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) error {
 	if s.engine != nil {
 		limit := s.engine.Time() + duration
 		for s.engine.Time() < limit {
@@ -220,27 +291,32 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 		}
 	} else {
 		if observer != nil {
-			return Report{}, fmt.Errorf("core: per-event observers are unavailable on parallel runs")
+			return fmt.Errorf("core: per-event observers are unavailable on parallel runs")
 		}
-		s.segment++
+		// Commit the segment counter only after a successful sweep so a
+		// failed (e.g. chaos-aborted) segment can be retried or resumed
+		// from checkpoint with the same seed.
+		seg := s.segment + 1
 		cfg := sublattice.Config{
 			PX: s.Cfg.Ranks[0], PY: s.Cfg.Ranks[1], PZ: s.Cfg.Ranks[2],
-			Temperature: s.Cfg.Temperature,
-			TStop:       s.Cfg.TStop,
-			Seed:        s.Cfg.Seed + s.segment,
+			Temperature:     s.Cfg.Temperature,
+			TStop:           s.Cfg.TStop,
+			Seed:            s.Cfg.Seed + seg,
+			ExchangeTimeout: s.Cfg.ExchangeTimeout,
+			Chaos:           s.Cfg.Chaos,
 		}
-		res := sublattice.Run(s.box, cfg, duration, s.mkMod)
+		res, err := sublattice.Run(s.box, cfg, duration, s.mkMod)
+		if err != nil {
+			return fmt.Errorf("core: segment %d: %w", seg, err)
+		}
+		s.segment = seg
 		s.box = res.Box
 		s.time += res.Time
 		for _, st := range res.Stats {
 			s.hops += st.Hops
 		}
 	}
-	return Report{
-		Duration: duration,
-		Hops:     s.Hops(),
-		Analysis: cluster.Analyze(s.box, 2),
-	}, nil
+	return nil
 }
 
 // Analyze returns the current Cu cluster statistics (1NN+2NN adjacency).

@@ -28,7 +28,6 @@ import (
 	"strings"
 
 	"tensorkmc/internal/core"
-	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/nnp"
 )
 
@@ -45,11 +44,17 @@ type Deck struct {
 	// DumpFile, if set, receives extended-XYZ solute snapshots
 	// ("<base>.<n>.xyz" per snapshot plus a final one).
 	DumpFile string
-	// CheckpointFile, if set, receives a binary box snapshot at the
-	// end of the run; RestartFile, if set, initialises the box from a
-	// previous checkpoint instead of a random alloy.
+	// CheckpointFile, if set, receives a crash-safe full-state
+	// checkpoint (TKMCBOX2: box, clock, hops, RNG state) at the end of
+	// the run — and, with CheckpointEvery, periodically during it.
+	// RestartFile, if set, resumes from a previous checkpoint instead
+	// of a random alloy; legacy box-only TKMCBOX1 snapshots are
+	// accepted too.
 	CheckpointFile string
 	RestartFile    string
+	// CheckpointEvery is the simulated-seconds interval between in-run
+	// checkpoints (0 = only at the end). Requires CheckpointFile.
+	CheckpointEvery float64
 }
 
 // Parse reads a deck from r.
@@ -81,6 +86,9 @@ func Parse(r io.Reader) (*Deck, error) {
 	}
 	if d.Duration <= 0 {
 		return nil, fmt.Errorf("input: missing or non-positive 'duration'")
+	}
+	if d.CheckpointEvery > 0 && d.CheckpointFile == "" {
+		return nil, fmt.Errorf("input: 'checkpoint_every' requires 'checkpoint'")
 	}
 	return d, nil
 }
@@ -155,6 +163,13 @@ func (d *Deck) apply(key string, args []string) error {
 			return fmt.Errorf("checkpoint wants a path")
 		}
 		d.CheckpointFile = args[0]
+	case "checkpoint_every":
+		if err := float1(args, &d.CheckpointEvery); err != nil {
+			return err
+		}
+		if d.CheckpointEvery <= 0 {
+			return fmt.Errorf("checkpoint_every wants a positive interval in seconds")
+		}
 	case "restart":
 		if len(args) != 1 {
 			return fmt.Errorf("restart wants a path")
@@ -196,12 +211,15 @@ func (d *Deck) Finish() (core.Config, error) {
 		cfg.Net = pot
 	}
 	if d.RestartFile != "" {
-		box, err := lattice.LoadBoxFile(d.RestartFile)
+		ck, err := core.LoadCheckpointOrBackup(d.RestartFile)
 		if err != nil {
 			return cfg, fmt.Errorf("input: loading restart: %w", err)
 		}
-		cfg.InitialBox = box
+		cfg.Restart = ck
+		cfg.InitialBox = ck.Box
 	}
+	cfg.CheckpointPath = d.CheckpointFile
+	cfg.CheckpointEvery = d.CheckpointEvery
 	return cfg, nil
 }
 

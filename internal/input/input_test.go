@@ -185,3 +185,58 @@ func TestBondcountPotentialKey(t *testing.T) {
 		t.Fatal("bondcount potential not parsed")
 	}
 }
+
+func TestCheckpointEveryKey(t *testing.T) {
+	d, err := Parse(strings.NewReader("cells 4 4 4\nduration 1\ncheckpoint s.ck\ncheckpoint_every 1e-4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CheckpointEvery != 1e-4 {
+		t.Fatalf("CheckpointEvery = %v", d.CheckpointEvery)
+	}
+	cfg, err := d.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CheckpointPath != "s.ck" || cfg.CheckpointEvery != 1e-4 {
+		t.Fatalf("checkpoint config not forwarded: %+v", cfg)
+	}
+	// The interval is meaningless without a checkpoint path, and must
+	// be a positive duration.
+	for _, bad := range []string{
+		"cells 4 4 4\nduration 1\ncheckpoint_every 1e-4\n",
+		"cells 4 4 4\nduration 1\ncheckpoint s.ck\ncheckpoint_every 0\n",
+		"cells 4 4 4\nduration 1\ncheckpoint s.ck\ncheckpoint_every -1\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted bad deck %q", bad)
+		}
+	}
+}
+
+// TestRestartFinishFullState: a TKMCBOX2 restart file carries the clock
+// and RNG state through to the config.
+func TestRestartFinishFullState(t *testing.T) {
+	dir := t.TempDir()
+	box := lattice.NewBox(4, 4, 4, 2.87)
+	box.Set(lattice.Vec{X: 1, Y: 1, Z: 1}, lattice.Vacancy)
+	ck := &core.Checkpoint{Box: box, Time: 3e-7, Hops: 99, HasRNG: true, RNG: [4]uint64{1, 2, 3, 4}}
+	path := filepath.Join(dir, "prev.ck")
+	if err := ck.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(strings.NewReader("restart " + path + "\nduration 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := d.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Restart == nil || cfg.Restart.Time != 3e-7 || cfg.Restart.Hops != 99 || !cfg.Restart.HasRNG {
+		t.Fatalf("full restart state not loaded: %+v", cfg.Restart)
+	}
+	if cfg.InitialBox == nil || !cfg.InitialBox.Equal(box) {
+		t.Fatal("restart box not loaded")
+	}
+}

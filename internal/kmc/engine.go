@@ -136,6 +136,64 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Box returns the underlying lattice.
 func (e *Engine) Box() *lattice.Box { return e.box }
 
+// RNG returns the engine's random stream, exposed so checkpoints can
+// capture and restore its state for bit-exact resume.
+func (e *Engine) RNG() *rng.Stream { return e.rnd }
+
+// Restore sets the simulated clock and hop counter when resuming from a
+// checkpoint.
+func (e *Engine) Restore(t float64, steps int64) {
+	e.time = t
+	e.steps = steps
+}
+
+// VacancyCenters returns the tracked vacancy centres in slot order. Slot
+// order is part of the trajectory contract: event selection maps uniform
+// draws onto cumulative propensity ranges indexed by slot, so a resumed
+// engine must reproduce it exactly (see SetVacancyOrder).
+func (e *Engine) VacancyCenters() []lattice.Vec {
+	out := make([]lattice.Vec, len(e.systems))
+	for i, s := range e.systems {
+		out[i] = s.center
+	}
+	return out
+}
+
+// SetVacancyOrder reorders the tracked vacancy systems to match the
+// given slot order, typically one captured by VacancyCenters at
+// checkpoint time. It must be called on a fresh engine before any Step;
+// the centres must be exactly the engine's current vacancy set.
+func (e *Engine) SetVacancyOrder(centers []lattice.Vec) error {
+	if e.steps != 0 {
+		return fmt.Errorf("kmc: SetVacancyOrder on an engine that has already stepped")
+	}
+	if len(centers) != len(e.systems) {
+		return fmt.Errorf("kmc: vacancy order has %d centres, engine tracks %d", len(centers), len(e.systems))
+	}
+	reordered := make([]*system, len(centers))
+	slotOf := make(map[int]int, len(centers))
+	for i, c := range centers {
+		idx := e.box.Index(c)
+		old, ok := e.slotOf[idx]
+		if !ok {
+			return fmt.Errorf("kmc: vacancy order names %v, which is not a tracked vacancy", c)
+		}
+		if _, dup := slotOf[idx]; dup {
+			return fmt.Errorf("kmc: vacancy order repeats centre %v", c)
+		}
+		reordered[i] = e.systems[old]
+		slotOf[idx] = i
+	}
+	e.systems = reordered
+	e.slotOf = slotOf
+	// Any propensities computed under the old slot order live in the
+	// selection tree at stale indices; force a full refresh.
+	for _, s := range e.systems {
+		s.dirty = true
+	}
+	return nil
+}
+
 // NumVacancies returns the number of tracked vacancies.
 func (e *Engine) NumVacancies() int { return len(e.systems) }
 

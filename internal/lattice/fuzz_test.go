@@ -1,0 +1,59 @@
+package lattice
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadBox feeds LoadBox corrupted snapshots: it must never panic,
+// and whenever it succeeds the result must be internally consistent and
+// the input must have been a canonical serialization (no silent success
+// on trailing garbage or inconsistent headers).
+func FuzzLoadBox(f *testing.F) {
+	b := NewBox(3, 4, 2, 2.87)
+	b.Set(Vec{X: 1, Y: 1, Z: 1}, Cu)
+	b.Set(Vec{X: 2, Y: 2, Z: 0}, Vacancy)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])             // truncated payload
+	f.Add(valid[:9])                        // truncated header
+	f.Add(append(bytes.Clone(valid), 0xfe)) // trailing garbage
+	for _, i := range []int{0, 8, 12, 32, len(valid) - 1} {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x41 // bit-flipped mutants
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		box, err := LoadBox(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if box.Nx <= 0 || box.Ny <= 0 || box.Nz <= 0 || box.A <= 0 {
+			t.Fatalf("accepted implausible box %dx%dx%d a=%v", box.Nx, box.Ny, box.Nz, box.A)
+		}
+		if len(box.Types()) != 2*box.Nx*box.Ny*box.Nz {
+			t.Fatalf("site array length %d inconsistent with dims", len(box.Types()))
+		}
+		for i, s := range box.Types() {
+			if s > Vacancy {
+				t.Fatalf("invalid species %d at site %d survived load", s, i)
+			}
+		}
+		// The format is canonical: a successful load implies the bytes are
+		// exactly what Save would emit. Anything else is a silent success
+		// on a corrupted file.
+		var out bytes.Buffer
+		if err := box.Save(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted non-canonical input (%d bytes in, %d bytes round-tripped)", len(data), out.Len())
+		}
+	})
+}

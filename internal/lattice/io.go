@@ -5,7 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
+
+	"tensorkmc/internal/fault"
 )
 
 // Binary snapshot format ("TKMCBOX1"): the box geometry plus the raw
@@ -59,9 +62,18 @@ func LoadBox(r io.Reader) (*Box, error) {
 			return nil, fmt.Errorf("lattice: implausible dimension %d", dims[i])
 		}
 	}
+	// Per-axis bounds still admit a ~2^61-site product; cap the total
+	// allocation a header can demand before any payload is read.
+	const maxSites = 1 << 28
+	if 2*dims[0]*dims[1]*dims[2] > maxSites {
+		return nil, fmt.Errorf("lattice: header requests %d sites (limit %d)", 2*dims[0]*dims[1]*dims[2], maxSites)
+	}
 	var a float64
 	if err := binary.Read(br, binary.LittleEndian, &a); err != nil {
 		return nil, err
+	}
+	if math.IsNaN(a) || a <= 0 || a > 1e6 {
+		return nil, fmt.Errorf("lattice: implausible lattice constant %v", a)
 	}
 	box := NewBox(int(dims[0]), int(dims[1]), int(dims[2]), a)
 	raw := make([]byte, len(box.types))
@@ -74,20 +86,19 @@ func LoadBox(r io.Reader) (*Box, error) {
 		}
 		box.types[i] = Species(v)
 	}
+	// A well-formed snapshot ends exactly at the species payload; extra
+	// bytes mean the header and body disagree (a corrupt or foreign file).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("lattice: trailing garbage after %d-site payload", len(raw))
+	}
 	return box, nil
 }
 
-// SaveFile and LoadBoxFile are path-based conveniences.
+// SaveFile and LoadBoxFile are path-based conveniences. SaveFile writes
+// via a temp file and atomic rename so a crash mid-write can never
+// truncate an existing good snapshot.
 func (b *Box) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := b.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return fault.WriteFileAtomic(path, false, b.Save)
 }
 
 func LoadBoxFile(path string) (*Box, error) {

@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+
+	"tensorkmc/internal/rng"
+)
+
+// Chaos is a fault interposer for a World: under test control it drops,
+// duplicates and delays point-to-point messages and stalls whole ranks,
+// reproducing in-process the failure modes a 27.5M-core fabric exhibits
+// statistically. All decisions draw from a seeded stream, so a chaos
+// schedule is reproducible.
+//
+// Install with World.SetChaos before the ranks start. The zero
+// probabilities mean "never"; a stalled rank swallows every message it
+// would send or receive and refuses to arrive at barriers (peers detect
+// it via BarrierTimeout/AllGatherTimeout).
+type Chaos struct {
+	mu      sync.Mutex
+	rnd     *rng.Stream
+	drop    float64
+	dup     float64
+	delayP  float64
+	delay   time.Duration
+	stalled map[int]bool
+
+	stats ChaosStats
+}
+
+// ChaosStats counts the faults actually injected.
+type ChaosStats struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+}
+
+// NewChaos returns an interposer whose fault schedule is driven by the
+// given seed.
+func NewChaos(seed uint64) *Chaos {
+	return &Chaos{rnd: rng.New(seed), stalled: make(map[int]bool)}
+}
+
+// WithDrop sets the per-message drop probability and returns c.
+func (c *Chaos) WithDrop(p float64) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drop = p
+	return c
+}
+
+// WithDuplicate sets the per-message duplication probability and returns c.
+func (c *Chaos) WithDuplicate(p float64) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dup = p
+	return c
+}
+
+// WithDelay makes each message late by d with probability p and returns c.
+// Delayed messages are re-delivered asynchronously, so FIFO ordering
+// between a rank pair is deliberately violated.
+func (c *Chaos) WithDelay(p float64, d time.Duration) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delayP, c.delay = p, d
+	return c
+}
+
+// StallRank marks a rank dead: its messages vanish and it never arrives
+// at another barrier.
+func (c *Chaos) StallRank(r int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stalled[r] = true
+}
+
+// Stalled reports whether a rank is currently marked dead.
+func (c *Chaos) Stalled(r int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stalled[r]
+}
+
+// Stats returns the injected-fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// onSend rolls the fault dice for one message.
+func (c *Chaos) onSend(from, to int) (drop, dup bool, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stalled[from] || c.stalled[to] {
+		c.stats.Dropped++
+		return true, false, 0
+	}
+	if c.drop > 0 && c.rnd.Float64() < c.drop {
+		c.stats.Dropped++
+		return true, false, 0
+	}
+	if c.dup > 0 && c.rnd.Float64() < c.dup {
+		c.stats.Duplicated++
+		dup = true
+	}
+	if c.delayP > 0 && c.rnd.Float64() < c.delayP {
+		c.stats.Delayed++
+		delay = c.delay
+	}
+	return false, dup, delay
+}

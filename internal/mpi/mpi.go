@@ -4,12 +4,46 @@
 // collectives. It mirrors the subset of MPI the paper's swmpi code path
 // uses (point-to-point ghost synchronisation and collective reductions),
 // scaled to a single shared-memory process.
+//
+// At the paper's 27.5M-core scale, rank failure is routine rather than
+// exceptional, so the fabric is fault-aware: every blocking primitive
+// has a timeout-taking, error-returning variant; a barrier that times
+// out latches the whole world into a broken state whose error names the
+// ranks that never arrived (the deadlock diagnostic); a watchdog can
+// observe which ranks are stalled on whom; and a Chaos interposer
+// injects message drops, duplications, delays and rank stalls under
+// test control.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrTimeout is wrapped by receive/barrier timeout errors.
+var ErrTimeout = errors.New("timed out")
+
+// ErrFull is returned by TrySend when the destination queue is full.
+var ErrFull = errors.New("mpi: send buffer full")
+
+// StallError reports a collective that timed out: the ranks that never
+// arrived (the stalled ones) and the ranks that were left waiting on
+// them. It is the named-rank diagnostic a hung sweep aborts with.
+type StallError struct {
+	Timeout time.Duration
+	Missing []int
+	Waiting []int
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("mpi: barrier %v after %v: ranks %v never arrived (ranks %v were waiting on them)",
+		ErrTimeout, e.Timeout, e.Missing, e.Waiting)
+}
+
+// Unwrap lets errors.Is(err, ErrTimeout) match.
+func (e *StallError) Unwrap() error { return ErrTimeout }
 
 // message is one tagged payload in flight.
 type message struct {
@@ -27,9 +61,16 @@ type World struct {
 	cond    *sync.Cond
 	arrived int
 	gen     int
+	present []bool // ranks arrived at the in-progress barrier
+	broken  error  // latched on the first timed-out collective
 
 	gather []any // all-gather staging, indexed by rank
 	reduce []float64
+
+	chaos *Chaos
+
+	statusMu sync.Mutex
+	status   []activity // watchdog state, indexed by rank
 }
 
 // NewWorld creates a world of n ranks with buffered channels.
@@ -37,7 +78,13 @@ func NewWorld(n int) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", n))
 	}
-	w := &World{size: n, gather: make([]any, n), reduce: make([]float64, n)}
+	w := &World{
+		size:    n,
+		gather:  make([]any, n),
+		reduce:  make([]float64, n),
+		present: make([]bool, n),
+		status:  make([]activity, n),
+	}
 	w.cond = sync.NewCond(&w.mu)
 	w.chans = make([][]chan message, n)
 	for i := range w.chans {
@@ -51,6 +98,19 @@ func NewWorld(n int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// SetChaos installs a fault interposer (nil removes it). Install before
+// the ranks start communicating.
+func (w *World) SetChaos(c *Chaos) { w.chaos = c }
+
+// Err returns the latched fabric error, or nil while the world is
+// healthy. Once a collective times out the world is permanently broken:
+// every subsequent collective fails fast with the same error.
+func (w *World) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
 
 // Comm returns rank r's endpoint.
 func (w *World) Comm(r int) *Comm {
@@ -75,51 +135,207 @@ func (c *Comm) Size() int { return c.world.size }
 // Send delivers data to rank `to` with a tag. Buffered: blocks only if
 // the destination queue is full (64 in-flight messages).
 func (c *Comm) Send(to, tag int, data any) {
-	c.world.chans[c.rank][to] <- message{tag: tag, data: data}
+	c.world.send(c.rank, to, tag, data, true)
+}
+
+// TrySend is the non-blocking Send: it returns ErrFull instead of
+// blocking when the destination queue is full.
+func (c *Comm) TrySend(to, tag int, data any) error {
+	return c.world.send(c.rank, to, tag, data, false)
+}
+
+func (w *World) send(from, to, tag int, data any, block bool) error {
+	if to < 0 || to >= w.size {
+		panic(fmt.Sprintf("mpi: send to rank %d out of range", to))
+	}
+	m := message{tag: tag, data: data}
+	copies := 1
+	if ch := w.chaos; ch != nil {
+		drop, dup, delay := ch.onSend(from, to)
+		if drop {
+			return nil // silently lost, like the network it simulates
+		}
+		if dup {
+			copies = 2
+		}
+		if delay > 0 {
+			dst := w.chans[from][to]
+			n := copies
+			time.AfterFunc(delay, func() {
+				for i := 0; i < n; i++ {
+					dst <- m
+				}
+			})
+			return nil
+		}
+	}
+	for i := 0; i < copies; i++ {
+		if block {
+			w.chans[from][to] <- m
+		} else {
+			select {
+			case w.chans[from][to] <- m:
+			default:
+				return ErrFull
+			}
+		}
+	}
+	return nil
 }
 
 // Recv blocks for the next message from rank `from` and checks its tag.
 // Messages between a rank pair are FIFO; a tag mismatch indicates a
-// protocol error and panics.
+// protocol error and panics. RecvTimeout is the fault-aware variant.
 func (c *Comm) Recv(from, tag int) any {
-	m := <-c.world.chans[from][c.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	v, err := c.RecvTimeout(from, tag, 0)
+	if err != nil {
+		panic(err.Error())
 	}
-	return m.data
+	return v
 }
 
-// Barrier blocks until all ranks have entered it.
+// RecvTimeout waits up to d for the next message from rank `from`. A
+// non-positive d blocks indefinitely. It returns an error wrapping
+// ErrTimeout when the deadline passes, and an error (instead of Recv's
+// panic) on a tag mismatch.
+func (c *Comm) RecvTimeout(from, tag int, d time.Duration) (any, error) {
+	if from < 0 || from >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d out of range", from)
+	}
+	c.setActivity(opRecv, from, tag)
+	defer c.clearActivity()
+
+	var m message
+	src := c.world.chans[from][c.rank]
+	if d <= 0 {
+		m = <-src
+	} else {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case m = <-src:
+		case <-timer.C:
+			return nil, fmt.Errorf("mpi: rank %d receive %w: no message from rank %d (tag %d) within %v",
+				c.rank, ErrTimeout, from, tag, d)
+		}
+	}
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag)
+	}
+	return m.data, nil
+}
+
+// Barrier blocks until all ranks have entered it. If the world has been
+// broken by a timed-out collective it panics with the stall diagnostic
+// rather than hanging forever; use BarrierTimeout for the error-returning
+// path.
 func (c *Comm) Barrier() {
+	if err := c.barrier(0); err != nil {
+		panic(err.Error())
+	}
+}
+
+// BarrierTimeout is the fault-aware Barrier: if any rank fails to arrive
+// within d, the call breaks the world and every participant receives a
+// *StallError naming the missing ranks. A non-positive d blocks
+// indefinitely. After the world breaks, all collectives fail fast.
+func (c *Comm) BarrierTimeout(d time.Duration) error {
+	return c.barrier(d)
+}
+
+func (c *Comm) barrier(d time.Duration) error {
 	w := c.world
+	c.setActivity(opBarrier, -1, 0)
+	defer c.clearActivity()
+
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+
+	if ch := w.chaos; ch != nil && ch.Stalled(c.rank) {
+		// Simulate a dead rank: never arrive. The rank unblocks only when
+		// a surviving peer's timeout breaks the world (so chaos tests
+		// terminate instead of leaking the goroutine).
+		for w.broken == nil {
+			w.cond.Wait()
+		}
+		return w.broken
+	}
+
 	gen := w.gen
+	w.present[c.rank] = true
 	w.arrived++
 	if w.arrived == w.size {
 		w.arrived = 0
 		w.gen++
-		w.cond.Broadcast()
-	} else {
-		for gen == w.gen {
-			w.cond.Wait()
+		for i := range w.present {
+			w.present[i] = false
 		}
+		w.cond.Broadcast()
+		return nil
 	}
-	w.mu.Unlock()
+
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		timer := time.AfterFunc(d, func() {
+			w.mu.Lock()
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for gen == w.gen && w.broken == nil {
+		if d > 0 && !time.Now().Before(deadline) {
+			var missing, waiting []int
+			for r, p := range w.present {
+				if p {
+					waiting = append(waiting, r)
+				} else {
+					missing = append(missing, r)
+				}
+			}
+			w.broken = &StallError{Timeout: d, Missing: missing, Waiting: waiting}
+			w.cond.Broadcast()
+			break
+		}
+		w.cond.Wait()
+	}
+	return w.broken
 }
 
 // AllGather collects one value from every rank; the returned slice is
 // indexed by rank and identical on all ranks. It must be called by all
 // ranks collectively.
 func (c *Comm) AllGather(v any) []any {
+	out, err := c.AllGatherTimeout(v, 0)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// AllGatherTimeout is the fault-aware AllGather: each of its two
+// internal barriers is bounded by d (non-positive d blocks forever). On
+// timeout every rank receives the *StallError naming the missing ranks.
+func (c *Comm) AllGatherTimeout(v any, d time.Duration) ([]any, error) {
 	w := c.world
 	w.mu.Lock()
 	w.gather[c.rank] = v
 	w.mu.Unlock()
-	c.Barrier()
+	if err := c.barrier(d); err != nil {
+		return nil, err
+	}
 	out := make([]any, w.size)
+	w.mu.Lock()
 	copy(out, w.gather)
-	c.Barrier() // protect staging from the next collective
-	return out
+	w.mu.Unlock()
+	if err := c.barrier(d); err != nil { // protect staging from the next collective
+		return nil, err
+	}
+	return out, nil
 }
 
 // AllReduceSum returns the sum of v over all ranks. Collective.
@@ -157,10 +373,15 @@ func (c *Comm) AllReduceMax(v float64) float64 {
 // Run launches fn on every rank of a fresh world and waits for all to
 // finish. Panics in any rank are re-raised on the caller.
 func Run(n int, fn func(c *Comm)) {
-	w := NewWorld(n)
+	RunWorld(NewWorld(n), fn)
+}
+
+// RunWorld is Run over a caller-constructed world, so chaos interposers
+// and watchdogs can be installed before the ranks start.
+func RunWorld(w *World, fn func(c *Comm)) {
 	var wg sync.WaitGroup
-	panics := make([]any, n)
-	for r := 0; r < n; r++ {
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()

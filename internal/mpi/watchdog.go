@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// activity is what a rank is currently blocked on, for the watchdog.
+type activity struct {
+	op    uint8
+	peer  int
+	tag   int
+	since time.Time
+}
+
+const (
+	opIdle uint8 = iota
+	opRecv
+	opBarrier
+)
+
+func (c *Comm) setActivity(op uint8, peer, tag int) {
+	w := c.world
+	w.statusMu.Lock()
+	w.status[c.rank] = activity{op: op, peer: peer, tag: tag, since: time.Now()}
+	w.statusMu.Unlock()
+}
+
+func (c *Comm) clearActivity() {
+	w := c.world
+	w.statusMu.Lock()
+	w.status[c.rank] = activity{}
+	w.statusMu.Unlock()
+}
+
+// Stall describes one rank that has been blocked for at least the
+// queried age: what it is waiting for and on whom.
+type Stall struct {
+	Rank int
+	Op   string // "recv" or "barrier"
+	Peer int    // sender being waited on (recv only; -1 for barrier)
+	Tag  int
+	Age  time.Duration
+}
+
+// Stalls returns the ranks that have been blocked in a receive or a
+// barrier for at least minAge, the raw material of the deadlock
+// diagnostic.
+func (w *World) Stalls(minAge time.Duration) []Stall {
+	now := time.Now()
+	w.statusMu.Lock()
+	defer w.statusMu.Unlock()
+	var out []Stall
+	for r, a := range w.status {
+		if a.op == opIdle {
+			continue
+		}
+		age := now.Sub(a.since)
+		if age < minAge {
+			continue
+		}
+		s := Stall{Rank: r, Peer: a.peer, Tag: a.tag, Age: age}
+		switch a.op {
+		case opRecv:
+			s.Op = "recv"
+		case opBarrier:
+			s.Op = "barrier"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// StallReport formats Stalls into the human-readable "who is stalled on
+// whom" diagnostic; it returns "" when nothing is stalled.
+func (w *World) StallReport(minAge time.Duration) string {
+	stalls := w.Stalls(minAge)
+	if len(stalls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("mpi: stalled ranks:")
+	for _, s := range stalls {
+		if s.Op == "recv" {
+			fmt.Fprintf(&b, " [rank %d waiting %.1fs for rank %d tag %d]", s.Rank, s.Age.Seconds(), s.Peer, s.Tag)
+		} else {
+			fmt.Fprintf(&b, " [rank %d waiting %.1fs at barrier]", s.Rank, s.Age.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// Watch starts a deadlock watchdog: every interval it checks for ranks
+// blocked longer than minAge and, if any, invokes onStall with the
+// formatted report. The returned stop function terminates the watchdog;
+// call it (e.g. via defer) before discarding the world.
+func (w *World) Watch(interval, minAge time.Duration, onStall func(report string)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if r := w.StallReport(minAge); r != "" {
+					onStall(r)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/feature"
 	"tensorkmc/internal/lattice"
 )
@@ -100,6 +102,9 @@ func Load(r io.Reader) (*Potential, error) {
 	if err := read(&rcut); err != nil {
 		return nil, err
 	}
+	if math.IsNaN(rcut) || rcut <= 0 || rcut > 1e3 {
+		return nil, fmt.Errorf("nnp: implausible cutoff %v", rcut)
+	}
 	if err := read(&nEl); err != nil {
 		return nil, err
 	}
@@ -120,12 +125,20 @@ func Load(r io.Reader) (*Potential, error) {
 		if err := read(&pq[i].Q); err != nil {
 			return nil, err
 		}
+		// NewDescriptor panics on invalid hyper-parameters; a corrupt
+		// file must error instead.
+		if math.IsNaN(pq[i].P) || math.IsNaN(pq[i].Q) || pq[i].P <= 0 || pq[i].Q <= 0 {
+			return nil, fmt.Errorf("nnp: invalid (p,q) pair %d: %+v", i, pq[i])
+		}
 	}
 	desc := feature.NewDescriptor(pq, int(nEl), rcut)
 	p := &Potential{Desc: desc}
 	var hasNorm uint8
 	if err := read(&hasNorm); err != nil {
 		return nil, err
+	}
+	if hasNorm > 1 {
+		return nil, fmt.Errorf("nnp: invalid normalisation flag %d", hasNorm)
 	}
 	if hasNorm == 1 {
 		p.FeatMean = make([]float64, desc.Dim())
@@ -162,6 +175,15 @@ func Load(r io.Reader) (*Potential, error) {
 		if sizes[0] != desc.Dim() {
 			return nil, fmt.Errorf("nnp: network input %d != descriptor dim %d", sizes[0], desc.Dim())
 		}
+		// Bound the weight allocation each layer implies: a corrupt header
+		// with two 2^20 layer sizes would otherwise request a terabyte
+		// matrix before any payload byte is read.
+		const maxLayerParams = 1 << 24
+		for l := 0; l+1 < len(sizes); l++ {
+			if sizes[l]*sizes[l+1] > maxLayerParams {
+				return nil, fmt.Errorf("nnp: layer %d needs %d weights (limit %d)", l, sizes[l]*sizes[l+1], maxLayerParams)
+			}
+		}
 		net := &Network{Sizes: sizes}
 		for l := 0; l+1 < len(sizes); l++ {
 			layer := Layer{
@@ -179,20 +201,18 @@ func Load(r io.Reader) (*Potential, error) {
 		}
 		p.Nets[e] = net
 	}
+	// A well-formed potential ends exactly after the last network; extra
+	// bytes mean a corrupt or foreign file.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("nnp: trailing garbage after potential payload")
+	}
 	return p, nil
 }
 
-// SaveFile writes the potential to path.
+// SaveFile writes the potential to path via a temp file and atomic
+// rename, so a crash mid-write can never truncate an existing good file.
 func (p *Potential) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := p.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return fault.WriteFileAtomic(path, false, p.Save)
 }
 
 // LoadFile reads a potential from path.

@@ -9,7 +9,10 @@
 // split into statistically independent sub-streams for parallel ranks.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Stream is a deterministic pseudo-random number generator. The zero value
 // is not valid; construct streams with New or Split.
@@ -40,6 +43,30 @@ func New(seed uint64) *Stream {
 		s.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &s
+}
+
+// State returns the generator's full internal xoshiro256** state. Together
+// with Restore it lets checkpoints capture and resume a stream mid-sequence
+// bit-exactly, which the crash-safe restart path depends on.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// Restore sets the internal state to one previously captured with State.
+// The all-zero state is a fixed point of xoshiro256** and is rejected.
+func (r *Stream) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("rng: refusing to restore the all-zero state")
+	}
+	r.s = s
+	return nil
+}
+
+// FromState reconstructs a stream from a captured state.
+func FromState(s [4]uint64) (*Stream, error) {
+	r := &Stream{}
+	if err := r.Restore(s); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -256,3 +256,32 @@ func TestChooseMatchesWeightsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStateRestoreResumesBitExactly(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 1000; i++ {
+		s.Uint64()
+	}
+	state := s.State()
+
+	// Continue the original; resume a fresh stream from the snapshot.
+	resumed, err := FromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a, b := s.Uint64(), resumed.Uint64()
+		if a != b {
+			t.Fatalf("draw %d diverged: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestRestoreRejectsZeroState(t *testing.T) {
+	if err := New(1).Restore([4]uint64{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+	if _, err := FromState([4]uint64{}); err == nil {
+		t.Fatal("FromState accepted all-zero state")
+	}
+}

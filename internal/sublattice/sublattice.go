@@ -16,6 +16,7 @@ package sublattice
 
 import (
 	"fmt"
+	"time"
 
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/kmc"
@@ -39,6 +40,15 @@ type Config struct {
 	TStop float64
 	// Seed drives all per-rank streams.
 	Seed uint64
+	// ExchangeTimeout bounds each sector-synchronisation collective.
+	// Zero blocks forever (the pre-fault-tolerance behaviour); with a
+	// timeout set, a rank that fails to reach the exchange makes the
+	// whole sweep abort with an error naming the stalled ranks, so the
+	// caller can recover from the last-good checkpoint.
+	ExchangeTimeout time.Duration
+	// Chaos, if non-nil, is installed on the run's message fabric to
+	// inject faults under test control.
+	Chaos *mpi.Chaos
 }
 
 // Ranks returns the world size.
@@ -72,18 +82,33 @@ type Result struct {
 // given global box (which is not modified; the evolved lattice is
 // returned in the Result). factory must return a fresh kmc.Model per
 // call — one per rank.
-func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Model) *Result {
+//
+// With Config.ExchangeTimeout set, a rank that stalls (dies, hangs, or
+// is held by the Chaos interposer) makes Run return an error naming the
+// stalled ranks instead of hanging; the global box is then unmodified
+// and the caller can resume from its last-good checkpoint.
+func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Model) (*Result, error) {
 	if cfg.TStop == 0 {
 		cfg.TStop = DefaultTStop
 	}
 	validate(box, cfg, factory())
 	nRanks := cfg.Ranks()
 	results := make([]*rankState, nRanks)
-	mpi.Run(nRanks, func(c *mpi.Comm) {
+	errs := make([]error, nRanks)
+	w := mpi.NewWorld(nRanks)
+	if cfg.Chaos != nil {
+		w.SetChaos(cfg.Chaos)
+	}
+	mpi.RunWorld(w, func(c *mpi.Comm) {
 		r := newRank(c, box, cfg, factory())
-		r.run(duration)
+		errs[c.Rank()] = r.run(duration)
 		results[c.Rank()] = r
 	})
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sublattice: sweep aborted on rank %d: %w", rank, err)
+		}
+	}
 
 	out := &Result{Time: duration, Stats: make([]RankStats, nRanks)}
 	out.Box = lattice.NewBox(box.Nx, box.Ny, box.Nz, box.A)
@@ -93,7 +118,7 @@ func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Mode
 			out.Box.Set(v, r.dom.Types()[idx])
 		})
 	}
-	return out
+	return out, nil
 }
 
 func validate(box *lattice.Box, cfg Config, model kmc.Model) {
@@ -352,8 +377,20 @@ func (r *rankState) executeHop(slot int, k int) {
 }
 
 // exchange broadcasts accumulated changes and applies everyone else's.
-func (r *rankState) exchange() {
-	all := r.comm.AllGather(append([]SiteChange(nil), r.changes...))
+// With an ExchangeTimeout configured it returns an error (naming the
+// stalled ranks) instead of blocking forever on a dead peer.
+func (r *rankState) exchange() error {
+	payload := append([]SiteChange(nil), r.changes...)
+	var all []any
+	if r.cfg.ExchangeTimeout > 0 {
+		var err error
+		all, err = r.comm.AllGatherTimeout(payload, r.cfg.ExchangeTimeout)
+		if err != nil {
+			return err
+		}
+	} else {
+		all = r.comm.AllGather(payload)
+	}
 	r.changes = r.changes[:0]
 	for from, payload := range all {
 		if from == r.comm.Rank() {
@@ -363,6 +400,7 @@ func (r *rankState) exchange() {
 			r.apply(ch)
 		}
 	}
+	return nil
 }
 
 func (r *rankState) apply(ch SiteChange) {
@@ -406,8 +444,9 @@ func (r *rankState) apply(ch SiteChange) {
 	r.patchSystems(canon, ch.New, -1)
 }
 
-// run advances the simulation by duration seconds.
-func (r *rankState) run(duration float64) {
+// run advances the simulation by duration seconds. It aborts cleanly
+// (diagnostics, no hang) if a sector exchange times out.
+func (r *rankState) run(duration float64) error {
 	tstop := r.cfg.TStop
 	remaining := duration
 	for remaining > 1e-18*duration && remaining > 0 {
@@ -417,10 +456,13 @@ func (r *rankState) run(duration float64) {
 		}
 		for sector := 0; sector < 8; sector++ {
 			r.runSector(sector, window)
-			r.exchange()
+			if err := r.exchange(); err != nil {
+				return fmt.Errorf("sector %d exchange: %w", sector, err)
+			}
 		}
 		remaining -= window
 	}
+	return nil
 }
 
 // SuggestTStop returns a synchronisation quantum targeting the given

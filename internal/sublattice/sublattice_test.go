@@ -1,8 +1,10 @@
 package sublattice
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"tensorkmc/internal/eam"
 	"tensorkmc/internal/encoding"
@@ -12,6 +14,15 @@ import (
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/units"
 )
+
+func mustRun(t testing.TB, box *lattice.Box, cfg Config, duration float64, factory func() kmc.Model) *Result {
+	t.Helper()
+	res, err := Run(box, cfg, duration, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func eamFactory() func() kmc.Model {
 	tb := encoding.New(units.LatticeConstantFe, units.CutoffStandard)
@@ -29,7 +40,7 @@ func TestConservationAcrossRanks(t *testing.T) {
 	box := alloyBox(16, 0.03, 0.001, 1)
 	fe0, cu0, vac0 := box.Count()
 	cfg := Config{PX: 2, PY: 2, PZ: 1, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 2}
-	res := Run(box, cfg, 1e-7, eamFactory())
+	res := mustRun(t, box, cfg, 1e-7, eamFactory())
 	fe1, cu1, vac1 := res.Box.Count()
 	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
 		t.Fatalf("species not conserved: (%d,%d,%d) -> (%d,%d,%d)", fe0, cu0, vac0, fe1, cu1, vac1)
@@ -53,8 +64,8 @@ func TestConservationAcrossRanks(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	cfg := Config{PX: 2, PY: 1, PZ: 2, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 9}
-	a := Run(alloyBox(16, 0.05, 0.001, 3), cfg, 1e-7, eamFactory())
-	b := Run(alloyBox(16, 0.05, 0.001, 3), cfg, 1e-7, eamFactory())
+	a := mustRun(t, alloyBox(16, 0.05, 0.001, 3), cfg, 1e-7, eamFactory())
+	b := mustRun(t, alloyBox(16, 0.05, 0.001, 3), cfg, 1e-7, eamFactory())
 	if !a.Box.Equal(b.Box) {
 		t.Fatal("same seed produced different final configurations")
 	}
@@ -76,7 +87,9 @@ func TestGhostConsistency(t *testing.T) {
 	ranks := make([]*rankState, nRanks)
 	mpi.Run(nRanks, func(c *mpi.Comm) {
 		r := newRank(c, box, cfg, factory())
-		r.run(1e-7)
+		if err := r.run(1e-7); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
 		ranks[c.Rank()] = r
 	})
 	// Authoritative global state from local regions.
@@ -117,7 +130,7 @@ func TestPureFeHopRate(t *testing.T) {
 	}
 	cfg := Config{PX: 2, PY: 2, PZ: 1, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 11}
 	const duration = 2e-7
-	res := Run(box, cfg, duration, eamFactory())
+	res := mustRun(t, box, cfg, duration, eamFactory())
 	var hops int64
 	for _, s := range res.Stats {
 		hops += s.Hops
@@ -151,7 +164,7 @@ func TestSerialParallelStatisticalAgreement(t *testing.T) {
 	serial.RunUntil(duration)
 
 	cfg := Config{PX: 2, PY: 2, PZ: 1, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 22}
-	res := Run(mk(), cfg, duration, factory)
+	res := mustRun(t, mk(), cfg, duration, factory)
 	var parallelHops int64
 	for _, s := range res.Stats {
 		parallelHops += s.Hops
@@ -169,7 +182,7 @@ func TestVacancyMigratesAcrossRanks(t *testing.T) {
 	box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
 	box.Set(lattice.Vec{X: 11, Y: 11, Z: 11}, lattice.Vacancy) // near the 2x2x2 rank corner
 	cfg := Config{PX: 2, PY: 2, PZ: 2, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 13}
-	res := Run(box, cfg, 5e-7, eamFactory())
+	res := mustRun(t, box, cfg, 5e-7, eamFactory())
 	_, _, vac := res.Box.Count()
 	if vac != 1 {
 		t.Fatalf("vacancy count = %d after migration, want 1", vac)
@@ -198,7 +211,7 @@ func TestSingleRankMatchesItself(t *testing.T) {
 	box := alloyBox(12, 0.05, 0.002, 15)
 	cfg := Config{PX: 1, PY: 1, PZ: 1, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 16}
 	fe0, cu0, vac0 := box.Count()
-	res := Run(box, cfg, 1e-7, eamFactory())
+	res := mustRun(t, box, cfg, 1e-7, eamFactory())
 	fe1, cu1, vac1 := res.Box.Count()
 	if fe0 != fe1 || cu0 != cu1 || vac0 != vac1 {
 		t.Fatal("single-rank run broke conservation")
@@ -218,7 +231,7 @@ func TestConfigValidation(t *testing.T) {
 					t.Errorf("%s: expected panic", name)
 				}
 			}()
-			Run(box, cfg, 1e-8, factory)
+			_, _ = Run(box, cfg, 1e-8, factory)
 		}()
 	}
 }
@@ -229,7 +242,7 @@ func TestDefaultTStop(t *testing.T) {
 	}
 	box := alloyBox(12, 0.0, 0.001, 19)
 	cfg := Config{PX: 1, PY: 1, PZ: 1, Temperature: 573, Seed: 20} // TStop defaulted
-	res := Run(box, cfg, 4e-8, eamFactory())
+	res := mustRun(t, box, cfg, 4e-8, eamFactory())
 	if res.Time != 4e-8 {
 		t.Fatalf("Time = %v", res.Time)
 	}
@@ -255,6 +268,58 @@ func TestSuggestTStop(t *testing.T) {
 	SuggestTStop(0, 1)
 }
 
+// TestStalledRankAbortsWithDiagnostic injects a dead rank via the chaos
+// interposer: the sweep must fail with an error naming the stalled rank
+// instead of hanging, and the input box must be untouched so the caller
+// can recover from a checkpoint.
+func TestStalledRankAbortsWithDiagnostic(t *testing.T) {
+	box := alloyBox(16, 0.03, 0.001, 41)
+	fe0, cu0, vac0 := box.Count()
+	chaos := mpi.NewChaos(1)
+	chaos.StallRank(3)
+	cfg := Config{
+		PX: 2, PY: 2, PZ: 1,
+		Temperature:     units.ReactorTemperature,
+		TStop:           2e-8,
+		Seed:            42,
+		ExchangeTimeout: 100 * time.Millisecond,
+		Chaos:           chaos,
+	}
+	start := time.Now()
+	res, err := Run(box, cfg, 1e-7, eamFactory())
+	if err == nil {
+		t.Fatal("sweep with a dead rank did not fail")
+	}
+	if res != nil {
+		t.Fatal("failed sweep returned a result")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("abort took %v — the timeout did not bound the hang", time.Since(start))
+	}
+	var stall *mpi.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error does not carry the stall diagnostic: %v", err)
+	}
+	if len(stall.Missing) != 1 || stall.Missing[0] != 3 {
+		t.Fatalf("diagnostic names ranks %v, want [3]; err: %v", stall.Missing, err)
+	}
+	if fe1, cu1, vac1 := box.Count(); fe1 != fe0 || cu1 != cu0 || vac1 != vac0 {
+		t.Fatal("aborted sweep modified the input box")
+	}
+}
+
+// TestExchangeTimeoutHealthyRun: a generous timeout must not perturb a
+// healthy run's trajectory.
+func TestExchangeTimeoutHealthyRun(t *testing.T) {
+	cfg := Config{PX: 2, PY: 1, PZ: 1, Temperature: units.ReactorTemperature, TStop: 2e-8, Seed: 9}
+	plain := mustRun(t, alloyBox(12, 0.04, 0.001, 8), cfg, 1e-7, eamFactory())
+	cfg.ExchangeTimeout = 30 * time.Second
+	timed := mustRun(t, alloyBox(12, 0.04, 0.001, 8), cfg, 1e-7, eamFactory())
+	if !plain.Box.Equal(timed.Box) {
+		t.Fatal("exchange timeout changed the trajectory of a healthy run")
+	}
+}
+
 // TestLargerTStopFewerExchanges: raising t_stop must reduce the number
 // of synchronisation rounds for the same simulated duration while
 // conserving matter.
@@ -263,7 +328,7 @@ func TestLargerTStopFewerExchanges(t *testing.T) {
 	run := func(tstop float64) (hops int64, sent int64) {
 		box := alloyBox(16, 0.02, 0.001, 31)
 		cfg := Config{PX: 2, PY: 1, PZ: 1, Temperature: units.ReactorTemperature, TStop: tstop, Seed: 32}
-		res := Run(box, cfg, 1.6e-7, factory)
+		res := mustRun(t, box, cfg, 1.6e-7, factory)
 		for _, s := range res.Stats {
 			hops += s.Hops
 			sent += s.Sent
