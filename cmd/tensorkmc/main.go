@@ -9,54 +9,111 @@
 // tool reports simulated time, executed hops, and the Cu precipitation
 // observables (isolated Cu count, cluster count, largest cluster, number
 // density) at the requested number of snapshots.
+//
+// The run is driven through the self-healing supervisor: failed
+// segments (a stalled rank, a timed-out exchange, an audit violation)
+// are restored from the last known-good state and replayed, up to the
+// deck's max_retries. SIGINT/SIGTERM interrupt gracefully at the next
+// snapshot boundary, writing a final checkpoint when one is configured.
+//
+// Exit codes:
+//
+//	0  clean run
+//	1  runtime failure (unrecoverable corruption, retries exhausted, I/O)
+//	2  usage or input-deck error
+//	3  run completed, but only after recovering from failures
+//	4  interrupted by signal; final checkpoint written if configured
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/input"
+	"tensorkmc/internal/supervise"
+)
+
+// Exit codes (see the package comment).
+const (
+	exitClean       = 0
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitRecovered   = 3
+	exitInterrupted = 4
 )
 
 func main() {
-	inPath := flag.String("in", "", "input deck path (required)")
-	quiet := flag.Bool("quiet", false, "suppress snapshot lines; print only the final summary")
-	flag.Parse()
-	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tensorkmc -in <deck>")
-		os.Exit(2)
-	}
-	if err := run(*inPath, *quiet); err != nil {
-		fmt.Fprintln(os.Stderr, "tensorkmc:", err)
-		os.Exit(1)
-	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sig))
 }
 
-func run(path string, quiet bool) error {
+// realMain is the testable entry point: parses flags, runs the deck and
+// maps the outcome to an exit code. sig, if non-nil, delivers shutdown
+// signals checked at snapshot boundaries.
+func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("tensorkmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inPath := fs.String("in", "", "input deck path (required)")
+	quiet := fs.Bool("quiet", false, "suppress snapshot lines; print only the final summary")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *inPath == "" {
+		fmt.Fprintln(stderr, "usage: tensorkmc -in <deck>")
+		return exitUsage
+	}
+	return run(*inPath, *quiet, stdout, stderr, sig)
+}
+
+func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	deck, err := input.ParseFile(path)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "tensorkmc:", err)
+		return exitUsage
 	}
 	cfg, err := deck.Finish()
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "tensorkmc:", err)
+		return exitUsage
 	}
-	sim, err := core.New(cfg)
+	sup, err := supervise.New(cfg, supervise.Config{
+		MaxRetries: deck.MaxRetries,
+		AuditEvery: deck.AuditEvery,
+		Seed:       cfg.Seed,
+		OnFailure: func(f supervise.Failure) {
+			if f.Backoff > 0 {
+				fmt.Fprintf(stderr, "tensorkmc: segment %d attempt %d failed: %v (retrying in %v)\n",
+					f.Segment, f.Attempt, f.Err, f.Backoff)
+			} else {
+				fmt.Fprintf(stderr, "tensorkmc: segment %d attempt %d failed: %v\n", f.Segment, f.Attempt, f.Err)
+			}
+		},
+	})
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "tensorkmc:", err)
+		return exitUsage
 	}
 
+	sim := sup.Simulation()
 	fe, cu, vac := sim.Box().Count()
-	fmt.Printf("tensorkmc: %dx%dx%d cells (%d sites): %d Fe, %d Cu, %d vacancies\n",
-		cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], sim.Box().NumSites(), fe, cu, vac)
-	fmt.Printf("tensorkmc: T=%.0f K, r_cut=%.2f Å (N_local=%d, N_region=%d), duration %.3g s\n",
-		cfg.Temperature, cfg.Cutoff, sim.Tables.NLocal, sim.Tables.NRegion, deck.Duration)
+	fmt.Fprintf(stdout, "tensorkmc: %dx%dx%d cells (%d sites): %d Fe, %d Cu, %d vacancies\n",
+		sim.Box().Nx, sim.Box().Ny, sim.Box().Nz, sim.Box().NumSites(), fe, cu, vac)
+	fmt.Fprintf(stdout, "tensorkmc: T=%.0f K, r_cut=%.2f Å (N_local=%d, N_region=%d), duration %.3g s\n",
+		sim.Cfg.Temperature, sim.Cfg.Cutoff, sim.Tables.NLocal, sim.Tables.NRegion, deck.Duration)
 	if cfg.Ranks[0]*cfg.Ranks[1]*cfg.Ranks[2] > 1 {
-		fmt.Printf("tensorkmc: parallel %dx%dx%d ranks, t_stop=%.3g s\n",
-			cfg.Ranks[0], cfg.Ranks[1], cfg.Ranks[2], cfg.TStop)
+		fmt.Fprintf(stdout, "tensorkmc: parallel %dx%dx%d ranks, t_stop=%.3g s\n",
+			cfg.Ranks[0], cfg.Ranks[1], cfg.Ranks[2], sim.Cfg.TStop)
+	}
+	if deck.MaxRetries > 0 || deck.AuditEvery > 0 {
+		fmt.Fprintf(stdout, "tensorkmc: supervised: max_retries=%d audit_every=%d\n", deck.MaxRetries, deck.AuditEvery)
 	}
 
 	snapshots := deck.Snapshots
@@ -66,18 +123,27 @@ func run(path string, quiet bool) error {
 	segment := deck.Duration / float64(snapshots)
 	start := time.Now()
 	for i := 1; i <= snapshots; i++ {
-		rep, err := sim.Run(segment, nil)
-		if err != nil {
-			return err
+		if interrupted(sig) {
+			return shutdown(sup, deck, stdout, stderr)
 		}
+		rep, err := sup.Run(segment)
+		if err != nil {
+			fmt.Fprintln(stderr, "tensorkmc:", err)
+			if s := rep.Recovery.Summary(); s != "" {
+				fmt.Fprintln(stderr, "tensorkmc:", s)
+			}
+			return exitRuntime
+		}
+		sim = sup.Simulation() // recovery may have rebuilt it
 		if !quiet || i == snapshots {
 			a := rep.Analysis
-			fmt.Printf("t=%.4g s  hops=%d  isolatedCu=%d  clusters=%d  maxCluster=%d  density=%.3g /m^3\n",
+			fmt.Fprintf(stdout, "t=%.4g s  hops=%d  isolatedCu=%d  clusters=%d  maxCluster=%d  density=%.3g /m^3\n",
 				sim.Time(), rep.Hops, a.Isolated, a.Clusters, a.MaxSize, a.NumberDensity)
 		}
 		if deck.DumpFile != "" {
 			if err := dumpXYZ(sim, deck.DumpFile, i); err != nil {
-				return err
+				fmt.Fprintln(stderr, "tensorkmc:", err)
+				return exitRuntime
 			}
 		}
 	}
@@ -85,12 +151,50 @@ func run(path string, quiet bool) error {
 		// Run checkpoints crash-safely after every interval (the deck's
 		// checkpoint_every, or each snapshot segment); the file on disk
 		// is already the final state.
-		fmt.Printf("tensorkmc: checkpoint written to %s\n", deck.CheckpointFile)
+		fmt.Fprintf(stdout, "tensorkmc: checkpoint written to %s\n", deck.CheckpointFile)
 	}
-	fmt.Printf("tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",
+	fmt.Fprintf(stdout, "tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",
 		sim.Hops(), time.Since(start).Seconds(),
 		float64(sim.Hops())/time.Since(start).Seconds())
-	return nil
+	rec := sup.Recovery()
+	if s := rec.Summary(); s != "" {
+		fmt.Fprintln(stdout, "tensorkmc:", s)
+	}
+	if rec.Recovered() {
+		return exitRecovered
+	}
+	return exitClean
+}
+
+// interrupted polls the signal channel without blocking.
+func interrupted(sig <-chan os.Signal) bool {
+	select {
+	case <-sig:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown handles a graceful SIGINT/SIGTERM stop: persist the final
+// state when a checkpoint is configured, report, and exit with the
+// interrupted status.
+func shutdown(sup *supervise.Supervisor, deck *input.Deck, stdout, stderr io.Writer) int {
+	sim := sup.Simulation()
+	if deck.CheckpointFile != "" {
+		if err := sim.SaveCheckpoint(deck.CheckpointFile); err != nil {
+			fmt.Fprintln(stderr, "tensorkmc: interrupted; final checkpoint failed:", err)
+			return exitRuntime
+		}
+		fmt.Fprintf(stdout, "tensorkmc: interrupted at t=%.4g s; checkpoint written to %s\n",
+			sim.Time(), deck.CheckpointFile)
+	} else {
+		fmt.Fprintf(stdout, "tensorkmc: interrupted at t=%.4g s (no checkpoint configured)\n", sim.Time())
+	}
+	if s := sup.Recovery().Summary(); s != "" {
+		fmt.Fprintln(stdout, "tensorkmc:", s)
+	}
+	return exitInterrupted
 }
 
 // dumpXYZ writes a solute snapshot "<base>.<n>.xyz" next to the

@@ -1,12 +1,28 @@
 package main
 
 import (
+	"bytes"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tensorkmc/internal/core"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
 )
+
+func writeDeck(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "input")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 // TestRunDeckEndToEnd drives the CLI's run path with a real deck,
 // including XYZ dumps, a checkpoint, and a restart from that checkpoint.
@@ -14,7 +30,7 @@ func TestRunDeckEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	dump := filepath.Join(dir, "solute")
 	ckpt := filepath.Join(dir, "state.box")
-	deck := `
+	deckPath := writeDeck(t, dir, `
 cells        10 10 10
 cu           0.05
 vacancy      0.002
@@ -22,15 +38,17 @@ duration     2e-8
 seed         5
 snapshots    2
 potential    eam
-dump         ` + dump + `
-checkpoint   ` + ckpt + `
-`
-	deckPath := filepath.Join(dir, "input")
-	if err := os.WriteFile(deckPath, []byte(deck), 0o644); err != nil {
-		t.Fatal(err)
+max_retries  2
+audit_every  1
+dump         `+dump+`
+checkpoint   `+ckpt+`
+`)
+	var out bytes.Buffer
+	if code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, nil); code != exitClean {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
-	if err := run(deckPath, true); err != nil {
-		t.Fatal(err)
+	if !strings.Contains(out.String(), "supervised: max_retries=2 audit_every=1") {
+		t.Fatalf("supervision banner missing:\n%s", out.String())
 	}
 	// Dumps and checkpoint must exist.
 	for _, p := range []string{dump + ".0001.xyz", dump + ".0002.xyz", ckpt} {
@@ -51,23 +69,95 @@ checkpoint   ` + ckpt + `
 	}
 
 	// Restart from the checkpoint and continue.
-	deck2 := `
-restart      ` + ckpt + `
+	deckPath2 := filepath.Join(dir, "input2")
+	if err := os.WriteFile(deckPath2, []byte(`
+restart      `+ckpt+`
 duration     1e-8
 seed         6
 potential    eam
-`
-	deckPath2 := filepath.Join(dir, "input2")
-	if err := os.WriteFile(deckPath2, []byte(deck2), 0o644); err != nil {
+`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(deckPath2, true); err != nil {
-		t.Fatal(err)
+	if code := realMain([]string{"-in", deckPath2, "-quiet"}, &out, &out, nil); code != exitClean {
+		t.Fatalf("restart run exit %d", code)
 	}
 }
 
-func TestRunMissingDeck(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope"), true); err == nil {
-		t.Fatal("expected error")
+// TestExitCodeUsage: flag and deck problems are operator errors, exit 2
+// — distinguishable from runtime failures in batch scripts.
+func TestExitCodeUsage(t *testing.T) {
+	var out bytes.Buffer
+	if code := realMain(nil, &out, &out, nil); code != exitUsage {
+		t.Fatalf("missing -in: exit %d", code)
+	}
+	if code := realMain([]string{"-bogus"}, &out, &out, nil); code != exitUsage {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+	if code := realMain([]string{"-in", filepath.Join(t.TempDir(), "nope")}, &out, &out, nil); code != exitUsage {
+		t.Fatalf("missing deck file: exit %d", code)
+	}
+	deckPath := writeDeck(t, t.TempDir(), "cells 10 10 10\nduration 1e-8\nbogus_key 1\n")
+	if code := realMain([]string{"-in", deckPath}, &out, &out, nil); code != exitUsage {
+		t.Fatalf("bad deck key: exit %d", code)
+	}
+}
+
+// TestExitCodeRuntimeOnCorruption: a potential file poisoned with a NaN
+// weight trips the numerical tripwires at the first evaluation; the CLI
+// must report it as a runtime failure (exit 1), not hang or retry.
+func TestExitCodeRuntimeOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{desc.Dim(), 8, 1}, rng.New(9))
+	pot.Nets[0].Layers[0].W.Data[0] = math.NaN()
+	potPath := filepath.Join(dir, "bad.nnp")
+	if err := pot.SaveFile(potPath); err != nil {
+		t.Fatal(err)
+	}
+	deckPath := writeDeck(t, dir, `
+cells        10 10 10
+cu           0.05
+vacancy      0.002
+duration     1e-8
+seed         7
+max_retries  3
+potential    nnp `+potPath+`
+`)
+	var out bytes.Buffer
+	code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, nil)
+	if code != exitRuntime {
+		t.Fatalf("corrupted potential: exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "unrecoverable") {
+		t.Fatalf("corruption not reported as unrecoverable:\n%s", out.String())
+	}
+}
+
+// TestExitCodeInterrupted: a pending SIGINT/SIGTERM is honoured at the
+// next snapshot boundary — final checkpoint written, exit 4.
+func TestExitCodeInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "state.box")
+	deckPath := writeDeck(t, dir, `
+cells        10 10 10
+cu           0.05
+vacancy      0.002
+duration     1e-7
+seed         11
+snapshots    4
+potential    eam
+checkpoint   `+ckpt+`
+`)
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+	var out bytes.Buffer
+	if code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, sig); code != exitInterrupted {
+		t.Fatalf("pending signal: exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("no interruption notice:\n%s", out.String())
+	}
+	if _, err := core.LoadCheckpointFile(ckpt); err != nil {
+		t.Fatalf("no final checkpoint after interrupt: %v", err)
 	}
 }

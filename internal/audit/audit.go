@@ -1,0 +1,118 @@
+// Package audit is the physics invariant auditor: cheap, decisive
+// checks that a simulation's state is still the one the physics allows.
+// Vacancy-mediated KMC on a rigid lattice conserves matter exactly — no
+// hop creates or destroys an atom — so per-species atom counts and the
+// vacancy count are invariant over any trajectory; the simulated clock
+// only moves forward; and every propensity the engine can ever select
+// from is a finite, non-negative Arrhenius rate.
+//
+// A violated invariant means state corruption (a mis-applied ghost
+// update, a bit flip, a logic bug), not statistics: the auditor turns
+// it into a typed error a supervisor can act on — restore and replay
+// for state drift, fail fast for numerical corruption — instead of
+// letting a 50-trillion-atom run silently decay into garbage.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tensorkmc/internal/fault"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/lattice"
+)
+
+// Baseline pins the conserved quantities at a known-good instant: the
+// per-species atom counts and vacancy count (fixed for the whole run)
+// and the simulated clock (a floor for every later audit). Supervisors
+// capture it once at construction and advance only the Time field as
+// segments commit.
+type Baseline struct {
+	Fe, Cu, Vacancies int
+	Time              float64
+}
+
+// Capture records the box's conserved quantities and the current clock.
+func Capture(box *lattice.Box, t float64) Baseline {
+	fe, cu, vac := box.Count()
+	return Baseline{Fe: fe, Cu: cu, Vacancies: vac, Time: t}
+}
+
+// Error reports violated physics invariants. It is retryable from a
+// supervisor's perspective: the state drifted, so restoring a known-good
+// checkpoint and replaying can heal it (unlike *fault.CorruptionError,
+// which deterministic replay would only reproduce).
+type Error struct {
+	Violations []string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("audit: %d invariant(s) violated: %s", len(e.Violations), strings.Join(e.Violations, "; "))
+}
+
+// Check verifies the conservation and clock invariants of a state
+// against its baseline. It costs one pass over the species array.
+func Check(box *lattice.Box, t float64, base Baseline) error {
+	var v []string
+	fe, cu, vac := box.Count()
+	if fe != base.Fe {
+		v = append(v, fmt.Sprintf("Fe count drifted: %d -> %d", base.Fe, fe))
+	}
+	if cu != base.Cu {
+		v = append(v, fmt.Sprintf("Cu count drifted: %d -> %d", base.Cu, cu))
+	}
+	if vac != base.Vacancies {
+		v = append(v, fmt.Sprintf("vacancy count drifted: %d -> %d", base.Vacancies, vac))
+	}
+	if math.IsNaN(t) {
+		v = append(v, "clock is NaN")
+	} else if t < base.Time {
+		v = append(v, fmt.Sprintf("clock ran backwards: %v -> %v", base.Time, t))
+	}
+	if v == nil {
+		return nil
+	}
+	return &Error{Violations: v}
+}
+
+// Propensities rebuilds every vacancy system's hop rates from scratch —
+// no caches, straight from the lattice through the model — and verifies
+// each is finite and non-negative. A bad value is returned as the
+// tripwires' *fault.CorruptionError so supervisors classify it as
+// non-retryable; the hot-path tripwires that fire mid-run are recovered
+// here too, for the same reason. Cost is one 1+8 energy evaluation per
+// vacancy, so it belongs at audit cadence, not in the step loop.
+func Propensities(box *lattice.Box, model kmc.Model, temperatureK float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ce, ok := p.(*fault.CorruptionError)
+			if !ok {
+				panic(p)
+			}
+			err = ce
+		}
+	}()
+	tb := model.Tables()
+	vet := tb.NewVET()
+	for _, center := range lattice.Vacancies(box) {
+		tb.FillVET(vet, center, box.Get)
+		initial, final, valid := model.HopEnergies(vet)
+		rates, total := kmc.Rates(vet, tb, initial, final, valid, temperatureK)
+		for k, r := range rates {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				return &fault.CorruptionError{
+					Subsystem: "kmc",
+					Detail:    fmt.Sprintf("vacancy %v direction %d has propensity %v", center, k, r),
+				}
+			}
+		}
+		if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+			return &fault.CorruptionError{
+				Subsystem: "kmc",
+				Detail:    fmt.Sprintf("vacancy %v has total propensity %v", center, total),
+			}
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"tensorkmc/internal/fault"
@@ -198,12 +199,21 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("core: trailing garbage after checkpoint trailer")
 	}
+	if math.IsNaN(c.Time) || math.IsInf(c.Time, 0) || c.Time < 0 {
+		return nil, fmt.Errorf("core: implausible checkpoint clock %v", c.Time)
+	}
+	if c.Hops < 0 {
+		return nil, fmt.Errorf("core: negative checkpoint hop count %d", c.Hops)
+	}
 	box, err := lattice.LoadBox(bytes.NewReader(blob))
 	if err != nil {
 		return nil, fmt.Errorf("core: embedded box: %w", err)
 	}
 	for _, v := range c.Vacancies {
-		if box.Get(box.Wrap(v)) != lattice.Vacancy {
+		if !v.IsSite() || box.Wrap(v) != v {
+			return nil, fmt.Errorf("core: checkpoint vacancy order names %v, which is not a canonical in-box site", v)
+		}
+		if box.Get(v) != lattice.Vacancy {
 			return nil, fmt.Errorf("core: checkpoint vacancy order names %v, which is not a vacancy in the box", v)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"tensorkmc/internal/cluster"
 	"tensorkmc/internal/eam"
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/mpi"
@@ -199,6 +200,10 @@ func New(cfg Config) (*Simulation, error) {
 // Box returns the current lattice (the evolved state after runs).
 func (s *Simulation) Box() *lattice.Box { return s.box }
 
+// Model returns the configured energy model, exposed so the physics
+// invariant auditor can recompute propensities from scratch.
+func (s *Simulation) Model() kmc.Model { return s.model }
+
 // Time returns the simulated time in seconds.
 func (s *Simulation) Time() float64 {
 	if s.engine != nil {
@@ -230,6 +235,48 @@ type Report struct {
 	Hops     int64
 	// Analysis is the Cu cluster state at the end of the segment.
 	Analysis cluster.Analysis
+	// Recovery is the supervisor's fault-handling account when the run
+	// was driven by internal/supervise; nil on unsupervised runs.
+	Recovery *Recovery
+}
+
+// Recovery is the typed account of what a supervisor did to keep a run
+// alive: the failures it saw, the segments it replayed, and the time it
+// lost doing so. It is surfaced through Report so callers (and the CLI's
+// exit status) can distinguish a clean run from a recovered one.
+type Recovery struct {
+	// Failures counts failed segment attempts (including audit failures).
+	Failures int
+	// Replays counts segments re-run after a restore.
+	Replays int
+	// ShadowRestores counts restores from the in-memory shadow
+	// checkpoint; DiskRestores counts fallbacks to the on-disk
+	// TKMCBOX2/.bak last-good state.
+	ShadowRestores int
+	DiskRestores   int
+	// Audits counts invariant-auditor passes (periodic, post-recovery
+	// and on-demand).
+	Audits int
+	// BackoffTotal is the wall-clock time spent backing off between
+	// retries; ReplayedTime is the simulated seconds that had to be
+	// re-run after restores.
+	BackoffTotal time.Duration
+	ReplayedTime float64
+	// FailureLog records the failures seen, oldest first (bounded).
+	FailureLog []string
+}
+
+// Recovered reports whether any segment had to be replayed.
+func (r *Recovery) Recovered() bool { return r != nil && r.Replays > 0 }
+
+// Summary renders a one-line human-readable account for logs and the
+// CLI exit banner; it returns "" for a nil or uneventful record.
+func (r *Recovery) Summary() string {
+	if r == nil || (r.Failures == 0 && r.Audits == 0) {
+		return ""
+	}
+	return fmt.Sprintf("recovery: %d failures, %d replays (%d shadow + %d disk restores), %d audits, %.3gs simulated time replayed, %v backoff",
+		r.Failures, r.Replays, r.ShadowRestores, r.DiskRestores, r.Audits, r.ReplayedTime, r.BackoffTotal)
 }
 
 // Run advances the simulation by duration seconds (serial or parallel
@@ -277,7 +324,20 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 }
 
 // runChunk advances the simulation by one uninterrupted interval.
-func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) error {
+func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (err error) {
+	// The rate kernel's corruption tripwires (NaN/Inf propensities or
+	// energies) fire as typed panics; surface them as errors so callers
+	// — in particular the supervisor — see a non-retryable failure. The
+	// parallel path converts them per rank inside sublattice.Run.
+	defer func() {
+		if p := recover(); p != nil {
+			ce, ok := p.(*fault.CorruptionError)
+			if !ok {
+				panic(p)
+			}
+			err = fmt.Errorf("core: aborted: %w", ce)
+		}
+	}()
 	if s.engine != nil {
 		limit := s.engine.Time() + duration
 		for s.engine.Time() < limit {

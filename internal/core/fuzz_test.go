@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+)
+
+// FuzzLoadCheckpoint feeds LoadCheckpoint corrupted TKMCBOX2 blobs (and
+// legacy TKMCBOX1 snapshots): it must never panic or over-allocate, and
+// anything it accepts must be internally consistent and survive a
+// save/load round trip — a checkpoint that loads but cannot re-save
+// identically would poison the crash-recovery chain.
+func FuzzLoadCheckpoint(f *testing.F) {
+	box := lattice.NewBox(3, 3, 2, 2.87)
+	lattice.FillRandomAlloy(box, 0.1, 0.05, rng.New(7))
+	full := &Checkpoint{
+		Box:       box,
+		Time:      1.5e-8,
+		Hops:      321,
+		Segment:   4,
+		HasRNG:    true,
+		RNG:       [4]uint64{11, 12, 13, 14},
+		Vacancies: lattice.Vacancies(box),
+	}
+	var buf bytes.Buffer
+	if err := full.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	parallel := &Checkpoint{Box: box, Time: 2e-8, Hops: 5, Segment: 9}
+	var pbuf bytes.Buffer
+	if err := parallel.Save(&pbuf); err != nil {
+		f.Fatal(err)
+	}
+
+	var legacy bytes.Buffer // a bare TKMCBOX1 box snapshot
+	if err := box.Save(&legacy); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid)
+	f.Add(pbuf.Bytes())
+	f.Add(legacy.Bytes())
+	f.Add(valid[:8])                          // magic only
+	f.Add(valid[:len(valid)/2])               // truncated body
+	f.Add(valid[:len(valid)-2])               // truncated CRC trailer
+	f.Add(append(bytes.Clone(valid), 0x00))   // trailing garbage
+	f.Add(bytes.Clone(valid[:40]))            // header cut inside counters
+	for _, i := range []int{0, 8, 24, 33, 41, len(valid) / 2, len(valid) - 3} {
+		mut := bytes.Clone(valid) // bit-flipped mutants: magic, clock, flags, vacancy table, box, CRC
+		mut[i] ^= 0x10
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := LoadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ck.Box == nil {
+			t.Fatal("accepted checkpoint without a box")
+		}
+		if ck.Box.Nx <= 0 || ck.Box.Ny <= 0 || ck.Box.Nz <= 0 {
+			t.Fatalf("accepted implausible box dims %dx%dx%d", ck.Box.Nx, ck.Box.Ny, ck.Box.Nz)
+		}
+		if math.IsNaN(ck.Time) || math.IsInf(ck.Time, 0) {
+			t.Fatalf("accepted non-finite clock %v", ck.Time)
+		}
+		for i, v := range ck.Vacancies {
+			if !v.IsSite() {
+				t.Fatalf("accepted off-lattice vacancy slot %d: %v", i, v)
+			}
+		}
+		// Round trip: what loads must re-save and re-load to the same state.
+		var out bytes.Buffer
+		if err := ck.Save(&out); err != nil {
+			t.Fatalf("accepted checkpoint cannot re-save: %v", err)
+		}
+		ck2, err := LoadCheckpoint(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-saved checkpoint does not load: %v", err)
+		}
+		if !ck2.Box.Equal(ck.Box) || ck2.Time != ck.Time || ck2.Hops != ck.Hops ||
+			ck2.Segment != ck.Segment || ck2.HasRNG != ck.HasRNG || ck2.RNG != ck.RNG ||
+			len(ck2.Vacancies) != len(ck.Vacancies) {
+			t.Fatal("checkpoint round trip not stable")
+		}
+	})
+}

@@ -24,6 +24,24 @@ import (
 // writers in this package. Tests match it with errors.Is.
 var ErrInjected = errors.New("fault: injected write error")
 
+// CorruptionError reports silent numerical corruption caught by a
+// tripwire in a hot path: a NaN or infinite energy out of the potential,
+// or a non-finite total propensity in the rate kernel — the signature of
+// a bit-flipped weight or a memory fault rather than a transient
+// communication failure. Supervisors must treat it as non-retryable:
+// the corrupted state is in memory, so replaying the segment
+// deterministically reproduces it.
+type CorruptionError struct {
+	// Subsystem names the tripwire that fired ("kmc", "nnp").
+	Subsystem string
+	// Detail describes the corrupt value and where it was seen.
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("fault: numerical corruption in %s: %s", e.Subsystem, e.Detail)
+}
+
 // WriteFileAtomic writes a file durably: write streams the content into
 // a temporary file in the destination directory, which is fsynced,
 // closed, and atomically renamed over path. If backup is true and path

@@ -1,0 +1,67 @@
+package input
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDeck throws arbitrary deck text at the parser: it must never
+// panic, and any deck it accepts must satisfy the documented validation
+// contract (required keys present, composition fractions sane, retry and
+// audit knobs non-negative).
+func FuzzParseDeck(f *testing.F) {
+	f.Add("cells 10 10 10\nduration 1e-8\n")
+	f.Add(`# Fe-Cu thermal aging
+cells        100 100 100
+lattice      2.87
+cu           0.0134
+vacancy      0.000008
+temperature  573
+cutoff       6.5
+duration     1e-3
+seed         42
+potential    eam
+ranks        2 2 1
+tstop        2e-8
+snapshots    10
+dump         solute
+checkpoint   state.box
+checkpoint_every 1e-4
+max_retries  3
+audit_every  5
+exchange_timeout 30
+`)
+	f.Add("restart prev.box\nduration 1e-8\npotential nnp weights.nnp\n")
+	f.Add("cells 1 1 1\nduration 0\n")               // rejected: non-positive duration
+	f.Add("duration 1e-8\n")                         // rejected: no cells/restart
+	f.Add("cells 10 10 10\nduration 1e-8\nseed -1\n") // rejected: negative seed
+	f.Add("checkpoint_every 1\nduration 1\ncells 1 1 1\n")
+	f.Add("max_retries -2\ncells 1 1 1\nduration 1\n")
+	f.Add("exchange_timeout 0\ncells 1 1 1\nduration 1\n")
+	f.Add("cells 10 10 10 # inline comment\nduration 1e-8\r\n")
+	f.Add("CELLS 2 2 2\nDuration 1\n") // keys are case-insensitive
+	f.Add("cells\n")
+	f.Add(strings.Repeat("a", 300))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if d.Duration <= 0 {
+			t.Fatalf("accepted non-positive duration %v", d.Duration)
+		}
+		if d.Config.Cells == [3]int{} && d.RestartFile == "" {
+			t.Fatal("accepted deck with neither cells nor restart")
+		}
+		if d.MaxRetries < 0 || d.AuditEvery < 0 || d.Snapshots < 0 {
+			t.Fatalf("accepted negative knobs: retries=%d audit=%d snapshots=%d", d.MaxRetries, d.AuditEvery, d.Snapshots)
+		}
+		if d.Config.ExchangeTimeout < 0 {
+			t.Fatalf("accepted negative exchange timeout %v", d.Config.ExchangeTimeout)
+		}
+		if d.CheckpointEvery > 0 && d.CheckpointFile == "" {
+			t.Fatal("accepted checkpoint_every without checkpoint")
+		}
+	})
+}

@@ -17,15 +17,20 @@
 //	potential    eam
 //	ranks        2 2 1
 //	tstop        2e-8
+//	max_retries  3
+//	audit_every  5
+//	exchange_timeout 30
 package input
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/nnp"
@@ -55,6 +60,12 @@ type Deck struct {
 	// CheckpointEvery is the simulated-seconds interval between in-run
 	// checkpoints (0 = only at the end). Requires CheckpointFile.
 	CheckpointEvery float64
+	// MaxRetries bounds the supervisor's replays per failed run segment
+	// (0 = fail on the first error).
+	MaxRetries int
+	// AuditEvery runs the physics invariant auditor after every Nth
+	// segment (0 = only after recoveries).
+	AuditEvery int
 }
 
 // Parse reads a deck from r.
@@ -170,6 +181,33 @@ func (d *Deck) apply(key string, args []string) error {
 		if d.CheckpointEvery <= 0 {
 			return fmt.Errorf("checkpoint_every wants a positive interval in seconds")
 		}
+	case "max_retries":
+		if len(args) != 1 {
+			return fmt.Errorf("max_retries wants one value")
+		}
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid max_retries %q", args[0])
+		}
+		d.MaxRetries = v
+	case "audit_every":
+		if len(args) != 1 {
+			return fmt.Errorf("audit_every wants one value")
+		}
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid audit_every %q", args[0])
+		}
+		d.AuditEvery = v
+	case "exchange_timeout":
+		var secs float64
+		if err := float1(args, &secs); err != nil {
+			return err
+		}
+		if secs <= 0 {
+			return fmt.Errorf("exchange_timeout wants a positive wall-clock interval in seconds")
+		}
+		d.Config.ExchangeTimeout = time.Duration(secs * float64(time.Second))
 	case "restart":
 		if len(args) != 1 {
 			return fmt.Errorf("restart wants a path")
@@ -243,7 +281,7 @@ func float1(args []string, dst *float64) error {
 		return fmt.Errorf("want one number, got %d", len(args))
 	}
 	v, err := strconv.ParseFloat(args[0], 64)
-	if err != nil {
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return fmt.Errorf("invalid number %q", args[0])
 	}
 	*dst = v

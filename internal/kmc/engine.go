@@ -2,8 +2,10 @@ package kmc
 
 import (
 	"fmt"
+	"math"
 
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/units"
@@ -21,6 +23,14 @@ type Model interface {
 
 // Rates converts hop energies into Arrhenius propensities per Eqs. (1)–(2):
 // Γ_k = Γ₀·exp(−(E_a⁰(species_k) + ΔE_k/2)/k_BT). Invalid hops get zero.
+//
+// A NaN or infinite total propensity means the energies feeding the
+// kernel were already corrupt (a flipped potential weight, a memory
+// fault): Rates panics with a *fault.CorruptionError, which the engine
+// layers (core for serial runs, sublattice per rank) convert into a
+// typed, non-retryable error instead of letting the trajectory silently
+// rot. The check is two float comparisons per refresh — free next to
+// the 1+8 energy evaluations that precede it.
 func Rates(vet encoding.VET, tb *encoding.Tables, initial float64, final [8]float64, valid [8]bool, temperatureK float64) (rates [8]float64, total float64) {
 	for k := 0; k < 8; k++ {
 		if !valid[k] {
@@ -31,6 +41,13 @@ func Rates(vet encoding.VET, tb *encoding.Tables, initial float64, final [8]floa
 		r := units.ArrheniusRate(ea, temperatureK)
 		rates[k] = r
 		total += r
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		panic(&fault.CorruptionError{
+			Subsystem: "kmc",
+			Detail: fmt.Sprintf("total propensity %v from rates %v (initial energy %v, finals %v)",
+				total, rates, initial, final),
+		})
 	}
 	return rates, total
 }

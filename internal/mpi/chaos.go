@@ -24,6 +24,7 @@ type Chaos struct {
 	dup     float64
 	delayP  float64
 	delay   time.Duration
+	budget  int // remaining message faults to inject; -1 = unlimited
 	stalled map[int]bool
 
 	stats ChaosStats
@@ -39,7 +40,20 @@ type ChaosStats struct {
 // NewChaos returns an interposer whose fault schedule is driven by the
 // given seed.
 func NewChaos(seed uint64) *Chaos {
-	return &Chaos{rnd: rng.New(seed), stalled: make(map[int]bool)}
+	return &Chaos{rnd: rng.New(seed), budget: -1, stalled: make(map[int]bool)}
+}
+
+// WithBudget bounds the total number of message faults (drops,
+// duplications, delays) the interposer will inject before going quiet,
+// modelling a transient network glitch rather than a permanently lossy
+// fabric — the shape recovery tests need to prove a supervised run
+// eventually converges. Negative means unlimited (the default). Rank
+// stalls are a state, not a message fault, and are not budgeted.
+func (c *Chaos) WithBudget(n int) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+	return c
 }
 
 // WithDrop sets the per-message drop probability and returns c.
@@ -83,6 +97,15 @@ func (c *Chaos) Stalled(r int) bool {
 	return c.stalled[r]
 }
 
+// Revive clears a rank's dead mark — the in-process analogue of the
+// scheduler allocating a replacement node, which a supervisor's
+// teardown-and-rebuild then folds back into the world.
+func (c *Chaos) Revive(r int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.stalled, r)
+}
+
 // Stats returns the injected-fault counters.
 func (c *Chaos) Stats() ChaosStats {
 	c.mu.Lock()
@@ -98,17 +121,30 @@ func (c *Chaos) onSend(from, to int) (drop, dup bool, delay time.Duration) {
 		c.stats.Dropped++
 		return true, false, 0
 	}
+	if c.budget == 0 {
+		return false, false, 0
+	}
 	if c.drop > 0 && c.rnd.Float64() < c.drop {
 		c.stats.Dropped++
+		c.spendBudget()
 		return true, false, 0
 	}
 	if c.dup > 0 && c.rnd.Float64() < c.dup {
 		c.stats.Duplicated++
+		c.spendBudget()
 		dup = true
 	}
 	if c.delayP > 0 && c.rnd.Float64() < c.delayP {
 		c.stats.Delayed++
+		c.spendBudget()
 		delay = c.delay
 	}
 	return false, dup, delay
+}
+
+// spendBudget consumes one unit of the fault budget (mu held).
+func (c *Chaos) spendBudget() {
+	if c.budget > 0 {
+		c.budget--
+	}
 }

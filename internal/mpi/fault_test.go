@@ -227,6 +227,199 @@ func TestChaosDelayViolatesFIFO(t *testing.T) {
 	}
 }
 
+// TestAllGatherDedupsDuplicates: with every message duplicated, repeated
+// collectives must still deliver each rank's payload exactly once per
+// round — the sequence-number dedup at the protocol layer.
+func TestAllGatherDedupsDuplicates(t *testing.T) {
+	w := NewWorld(3)
+	chaos := NewChaos(11).WithDuplicate(1.0)
+	w.SetChaos(chaos)
+	RunWorld(w, func(c *Comm) {
+		for round := 0; round < 20; round++ {
+			got, err := c.AllGatherTimeout(c.Rank()*100+round, time.Second)
+			if err != nil {
+				t.Errorf("rank %d round %d: %v", c.Rank(), round, err)
+				return
+			}
+			for r, v := range got {
+				if v.(int) != r*100+round {
+					t.Errorf("rank %d round %d: got[%d] = %v", c.Rank(), round, r, v)
+					return
+				}
+			}
+		}
+	})
+	if chaos.Stats().Duplicated == 0 {
+		t.Fatal("no duplicates were injected")
+	}
+}
+
+// TestAllGatherDelayWithinTimeout: delayed (FIFO-violating) messages must
+// be reordered back into the collectives they belong to, keeping every
+// round correct as long as the delay stays under the timeout.
+func TestAllGatherDelayReordered(t *testing.T) {
+	w := NewWorld(3)
+	chaos := NewChaos(13).WithDelay(0.5, 10*time.Millisecond)
+	w.SetChaos(chaos)
+	RunWorld(w, func(c *Comm) {
+		for round := 0; round < 15; round++ {
+			got, err := c.AllGatherTimeout([2]int{c.Rank(), round}, 5*time.Second)
+			if err != nil {
+				t.Errorf("rank %d round %d: %v", c.Rank(), round, err)
+				return
+			}
+			for r, v := range got {
+				if v.([2]int) != [2]int{r, round} {
+					t.Errorf("rank %d round %d: got[%d] = %v", c.Rank(), round, r, v)
+					return
+				}
+			}
+		}
+	})
+	if chaos.Stats().Delayed == 0 {
+		t.Fatal("no delays were injected")
+	}
+}
+
+// TestAllGatherDupDelayCombo drives many rounds under simultaneous
+// duplication and delay — the combination PR 2 left uncovered — and
+// requires every round to stay correct on every rank.
+func TestAllGatherDupDelayCombo(t *testing.T) {
+	w := NewWorld(4)
+	chaos := NewChaos(17).WithDuplicate(0.4).WithDelay(0.3, 5*time.Millisecond)
+	w.SetChaos(chaos)
+	RunWorld(w, func(c *Comm) {
+		for round := 0; round < 25; round++ {
+			got, err := c.AllGatherTimeout(c.Rank()<<16|round, 5*time.Second)
+			if err != nil {
+				t.Errorf("rank %d round %d: %v", c.Rank(), round, err)
+				return
+			}
+			for r, v := range got {
+				if v.(int) != r<<16|round {
+					t.Errorf("rank %d round %d: got[%d] = %v", c.Rank(), round, r, v)
+					return
+				}
+			}
+		}
+	})
+	st := chaos.Stats()
+	if st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("combo injected nothing: %+v", st)
+	}
+}
+
+// TestAllGatherDropBreaksWorld: a dropped collective payload must
+// surface within the timeout as a StallError naming the silent rank,
+// and latch the world broken.
+func TestAllGatherDropBreaksWorld(t *testing.T) {
+	w := NewWorld(3)
+	w.SetChaos(NewChaos(19).WithDrop(1.0))
+	var stalls int32
+	RunWorld(w, func(c *Comm) {
+		_, err := c.AllGatherTimeout(c.Rank(), 50*time.Millisecond)
+		if err == nil {
+			t.Errorf("rank %d: gather succeeded with all payloads dropped", c.Rank())
+			return
+		}
+		var stall *StallError
+		if !errors.As(err, &stall) {
+			t.Errorf("rank %d: error is not a StallError: %v", c.Rank(), err)
+			return
+		}
+		if len(stall.Missing) == 0 {
+			t.Errorf("rank %d: StallError names no missing ranks", c.Rank())
+		}
+		atomic.AddInt32(&stalls, 1)
+	})
+	if stalls != 3 {
+		t.Fatalf("%d ranks saw the stall, want 3", stalls)
+	}
+	if w.Err() == nil {
+		t.Fatal("world not latched broken after dropped gather")
+	}
+}
+
+// TestAllGatherDelayBeyondTimeout: a delay longer than the collective's
+// timeout is indistinguishable from a drop and must produce the same
+// typed diagnostic.
+func TestAllGatherDelayBeyondTimeout(t *testing.T) {
+	w := NewWorld(2)
+	w.SetChaos(NewChaos(23).WithDelay(1.0, 500*time.Millisecond))
+	RunWorld(w, func(c *Comm) {
+		_, err := c.AllGatherTimeout(c.Rank(), 40*time.Millisecond)
+		if err == nil {
+			t.Errorf("rank %d: gather beat a 500ms delay with a 40ms timeout", c.Rank())
+			return
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("rank %d: error does not unwrap to ErrTimeout: %v", c.Rank(), err)
+		}
+	})
+}
+
+// TestChaosBudgetExhausts: a budgeted interposer must stop injecting
+// after its allotment, so a previously failing collective succeeds on
+// retry — the property supervisor convergence rests on.
+func TestChaosBudgetExhausts(t *testing.T) {
+	chaos := NewChaos(29).WithDrop(1.0).WithBudget(2)
+	w := NewWorld(2)
+	w.SetChaos(chaos)
+	var delivered int64
+	RunWorld(w, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 1, i)
+			}
+		} else {
+			for {
+				if _, err := c.RecvTimeout(0, 1, 100*time.Millisecond); err != nil {
+					return
+				}
+				atomic.AddInt64(&delivered, 1)
+			}
+		}
+	})
+	if st := chaos.Stats(); st.Dropped != 2 {
+		t.Fatalf("budget of 2 dropped %d messages", st.Dropped)
+	}
+	if delivered != 8 {
+		t.Fatalf("delivered %d of 10 messages with 2 budgeted drops", delivered)
+	}
+}
+
+// TestRecvTimeoutUnderDupDelay: the raw point-to-point path has no
+// dedup (that is the collective layer's job), so duplication doubles
+// deliveries and delay holds them back — but RecvTimeout must never
+// lose a message that was actually sent, nor hang.
+func TestRecvTimeoutUnderDupDelay(t *testing.T) {
+	const n = 50
+	w := NewWorld(2)
+	chaos := NewChaos(31).WithDuplicate(1.0).WithDelay(0.5, 10*time.Millisecond)
+	w.SetChaos(chaos)
+	var received int64
+	RunWorld(w, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 4, i)
+			}
+		} else {
+			for {
+				if _, err := c.RecvTimeout(0, 4, 200*time.Millisecond); err != nil {
+					if !errors.Is(err, ErrTimeout) {
+						t.Errorf("unexpected receive failure: %v", err)
+					}
+					return
+				}
+				atomic.AddInt64(&received, 1)
+			}
+		}
+	})
+	if received != 2*n {
+		t.Fatalf("received %d messages, want %d (every one duplicated)", received, 2*n)
+	}
+}
+
 func TestWatchdogReportsStalledRecv(t *testing.T) {
 	w := NewWorld(2)
 	var mu sync.Mutex

@@ -57,15 +57,21 @@ type World struct {
 	size  int
 	chans [][]chan message // chans[from][to]
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	gen     int
-	present []bool // ranks arrived at the in-progress barrier
-	broken  error  // latched on the first timed-out collective
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      int
+	present  []bool        // ranks arrived at the in-progress barrier
+	broken   error         // latched on the first timed-out collective
+	brokenCh chan struct{} // closed when broken latches (wakes channel waiters)
 
-	gather []any // all-gather staging, indexed by rank
 	reduce []float64
+
+	// Per-rank all-gather protocol state. Each slot is touched only by
+	// its owning rank's goroutine, so no lock is needed beyond the seq
+	// allocation under mu.
+	gatherSeq     []int       // next collective sequence number, per rank
+	gatherPending [][]message // stashed future-seq messages, [me*size+from]
 
 	chaos *Chaos
 
@@ -79,11 +85,13 @@ func NewWorld(n int) *World {
 		panic(fmt.Sprintf("mpi: invalid world size %d", n))
 	}
 	w := &World{
-		size:    n,
-		gather:  make([]any, n),
-		reduce:  make([]float64, n),
-		present: make([]bool, n),
-		status:  make([]activity, n),
+		size:          n,
+		reduce:        make([]float64, n),
+		present:       make([]bool, n),
+		status:        make([]activity, n),
+		brokenCh:      make(chan struct{}),
+		gatherSeq:     make([]int, n),
+		gatherPending: make([][]message, n*n),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.chans = make([][]chan message, n)
@@ -94,6 +102,19 @@ func NewWorld(n int) *World {
 		}
 	}
 	return w
+}
+
+// breakWorldLocked latches the world broken with err (first error wins)
+// and wakes everything waiting on it: condition-variable waiters
+// (barriers, stalled ranks) and channel waiters (gather receives) alike.
+// Must be called with w.mu held. It returns the latched error.
+func (w *World) breakWorldLocked(err error) error {
+	if w.broken == nil {
+		w.broken = err
+		close(w.brokenCh)
+		w.cond.Broadcast()
+	}
+	return w.broken
 }
 
 // Size returns the number of ranks.
@@ -297,8 +318,7 @@ func (c *Comm) barrier(d time.Duration) error {
 					missing = append(missing, r)
 				}
 			}
-			w.broken = &StallError{Timeout: d, Missing: missing, Waiting: waiting}
-			w.cond.Broadcast()
+			w.breakWorldLocked(&StallError{Timeout: d, Missing: missing, Waiting: waiting})
 			break
 		}
 		w.cond.Wait()
@@ -317,25 +337,190 @@ func (c *Comm) AllGather(v any) []any {
 	return out
 }
 
-// AllGatherTimeout is the fault-aware AllGather: each of its two
-// internal barriers is bounded by d (non-positive d blocks forever). On
-// timeout every rank receives the *StallError naming the missing ranks.
+// gatherTagBase namespaces collective messages away from user tags; the
+// offset from the base is the collective's sequence number.
+const gatherTagBase = 1 << 30
+
+// AllGatherTimeout is the fault-aware AllGather. It runs over the
+// point-to-point fabric — every rank sends its payload to every peer,
+// tagged with a per-world collective sequence number — so the Chaos
+// interposer's message faults exercise it exactly as they would a real
+// interconnect:
+//
+//   - duplicated messages are detected by their stale sequence number
+//     and discarded, never delivered twice;
+//   - delayed messages that overtake a later collective are stashed and
+//     consumed by the collective they belong to, restoring order;
+//   - dropped messages surface as a *StallError after d naming the
+//     ranks whose payloads never arrived, which breaks the world so
+//     every rank fails fast instead of hanging.
+//
+// A non-positive d blocks forever (modulo another rank breaking the
+// world). Completion still synchronises the ranks: no rank returns
+// before every rank has entered the collective and its payload arrived.
 func (c *Comm) AllGatherTimeout(v any, d time.Duration) ([]any, error) {
 	w := c.world
 	w.mu.Lock()
-	w.gather[c.rank] = v
-	w.mu.Unlock()
-	if err := c.barrier(d); err != nil {
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
 		return nil, err
 	}
-	out := make([]any, w.size)
-	w.mu.Lock()
-	copy(out, w.gather)
+	if ch := w.chaos; ch != nil && ch.Stalled(c.rank) {
+		// A dead rank never participates; it unblocks only when a
+		// surviving peer's timeout breaks the world (so tests terminate
+		// instead of leaking the goroutine).
+		for w.broken == nil {
+			w.cond.Wait()
+		}
+		err := w.broken
+		w.mu.Unlock()
+		return nil, err
+	}
+	seq := w.gatherSeq[c.rank]
+	w.gatherSeq[c.rank]++
 	w.mu.Unlock()
-	if err := c.barrier(d); err != nil { // protect staging from the next collective
+
+	tag := gatherTagBase + seq
+	for to := 0; to < w.size; to++ {
+		if to != c.rank {
+			c.Send(to, tag, v)
+		}
+	}
+
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	out := make([]any, w.size)
+	got := make([]bool, w.size)
+	out[c.rank], got[c.rank] = v, true
+	for from := 0; from < w.size; from++ {
+		if got[from] {
+			continue
+		}
+		if c.gatherFrom(from, tag, out, got, deadline) {
+			continue
+		}
+		// Timed out waiting on `from`. Messages from later peers may
+		// already be buffered; sweep them up non-blockingly so the
+		// diagnostic names only the ranks that truly never delivered.
+		for p := 0; p < w.size; p++ {
+			if !got[p] {
+				c.gatherSweep(p, tag, out, got)
+			}
+		}
+		var missing []int
+		for p, ok := range got {
+			if !ok {
+				missing = append(missing, p)
+			}
+		}
+		if len(missing) == 0 {
+			continue // the sweep found everything after all
+		}
+		w.mu.Lock()
+		err := w.breakWorldLocked(&StallError{Timeout: d, Missing: missing, Waiting: []int{c.rank}})
+		w.mu.Unlock()
 		return nil, err
 	}
 	return out, nil
+}
+
+// gatherFrom blocks until peer `from`'s payload for the collective
+// tagged `tag` is available (from the pending stash or the wire),
+// recording it in out/got. It returns false on deadline expiry and
+// propagates a broken world by reporting the peer as not delivered.
+func (c *Comm) gatherFrom(from, tag int, out []any, got []bool, deadline time.Time) bool {
+	w := c.world
+	if c.gatherSweep(from, tag, out, got) {
+		return true
+	}
+	c.setActivity(opRecv, from, tag)
+	defer c.clearActivity()
+	src := w.chans[from][c.rank]
+	for {
+		var m message
+		if deadline.IsZero() {
+			select {
+			case m = <-src:
+			case <-w.brokenCh:
+				return false
+			}
+		} else {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return false
+			}
+			timer := time.NewTimer(remaining)
+			select {
+			case m = <-src:
+				timer.Stop()
+			case <-w.brokenCh:
+				timer.Stop()
+				return false
+			case <-timer.C:
+				return false
+			}
+		}
+		if c.gatherAccept(from, tag, m, out, got) {
+			return true
+		}
+	}
+}
+
+// gatherAccept files one received message during a collective: the
+// awaited sequence completes the gather, stale sequences (duplicates or
+// long-delayed stragglers) are discarded, and future sequences — a peer
+// already in its next collective whose earlier message was delayed past
+// ours — are stashed for the collective they belong to. Messages from
+// outside the collective tag space indicate interleaved point-to-point
+// traffic, a protocol violation.
+func (c *Comm) gatherAccept(from, tag int, m message, out []any, got []bool) bool {
+	switch {
+	case m.tag == tag:
+		out[from], got[from] = m.data, true
+		return true
+	case m.tag >= gatherTagBase && m.tag < tag:
+		return false // stale duplicate or straggler: drop
+	case m.tag > tag:
+		w := c.world
+		slot := c.rank*w.size + from
+		w.gatherPending[slot] = append(w.gatherPending[slot], m)
+		return false
+	default:
+		panic(fmt.Sprintf("mpi: rank %d gather received point-to-point tag %d from rank %d", c.rank, m.tag, from))
+	}
+}
+
+// gatherSweep drains peer `from`'s stash and any buffered channel
+// messages without blocking, filing them as gatherAccept does. It
+// reports whether the awaited payload was found.
+func (c *Comm) gatherSweep(from, tag int, out []any, got []bool) bool {
+	w := c.world
+	slot := c.rank*w.size + from
+	pending := w.gatherPending[slot]
+	w.gatherPending[slot] = pending[:0]
+	for _, m := range pending {
+		if !got[from] && m.tag == tag {
+			out[from], got[from] = m.data, true
+		} else if m.tag > tag {
+			w.gatherPending[slot] = append(w.gatherPending[slot], m)
+		}
+	}
+	if got[from] {
+		return true
+	}
+	for {
+		select {
+		case m := <-w.chans[from][c.rank]:
+			if c.gatherAccept(from, tag, m, out, got) {
+				return true
+			}
+		default:
+			return false
+		}
+	}
 }
 
 // AllReduceSum returns the sum of v over all ranks. Collective.

@@ -2,8 +2,10 @@ package nnp
 
 import (
 	"fmt"
+	"math"
 
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/feature"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/rng"
@@ -125,18 +127,37 @@ func (p *Potential) RegionEnergy(tb *encoding.Tables, tab *feature.Table, vet en
 // each of the 8 candidate final states, the 1+N_f evaluation of Sec. 3.4.
 // Final states whose target site is not an atom (another vacancy) are
 // reported as NaN-free: valid[k] is false and final[k] is 0.
+//
+// A non-finite region energy can only come from a corrupted network (a
+// bit-flipped weight) or scrambled features; it is trapped here with a
+// typed *fault.CorruptionError panic so the supervisor sees a
+// non-retryable failure instead of a silently poisoned trajectory. The
+// cost is one comparison per evaluated state, dwarfed by the MLP
+// forward pass that produced the value.
 func (p *Potential) HopEnergies(tb *encoding.Tables, tab *feature.Table, vet encoding.VET, s *Scratch) (initial float64, final [8]float64, valid [8]bool) {
 	initial = p.RegionEnergy(tb, tab, vet, s)
+	checkFiniteEnergy("initial", initial)
 	for k := 0; k < 8; k++ {
 		if !vet[tb.NN1Index[k]].IsAtom() {
 			continue
 		}
 		tb.ApplyHop(vet, k)
 		final[k] = p.RegionEnergy(tb, tab, vet, s)
+		checkFiniteEnergy("final", final[k])
 		valid[k] = true
 		tb.ApplyHop(vet, k)
 	}
 	return initial, final, valid
+}
+
+// checkFiniteEnergy is the NNP hot-path tripwire.
+func checkFiniteEnergy(state string, e float64) {
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		panic(&fault.CorruptionError{
+			Subsystem: "nnp",
+			Detail:    fmt.Sprintf("%s-state region energy is %v", state, e),
+		})
+	}
 }
 
 // StructureEnergy evaluates the total energy of a continuous periodic

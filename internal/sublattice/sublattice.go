@@ -15,10 +15,12 @@
 package sublattice
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/mpi"
@@ -100,10 +102,33 @@ func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Mode
 		w.SetChaos(cfg.Chaos)
 	}
 	mpi.RunWorld(w, func(c *mpi.Comm) {
+		// A corruption tripwire (NaN propensity, non-finite energy) fires
+		// as a typed panic deep in the rate kernel; convert it into this
+		// rank's error so the sweep aborts with the diagnostic instead of
+		// crashing the process. Peers blocked on this rank's exchange are
+		// released by their ExchangeTimeout.
+		defer func() {
+			if p := recover(); p != nil {
+				if ce, ok := p.(*fault.CorruptionError); ok {
+					errs[c.Rank()] = ce
+					return
+				}
+				panic(p)
+			}
+		}()
 		r := newRank(c, box, cfg, factory())
 		errs[c.Rank()] = r.run(duration)
 		results[c.Rank()] = r
 	})
+	// A corrupted rank makes its peers stall out too; report the
+	// corruption, not the secondary timeouts, so the supervisor can
+	// classify the failure as non-retryable.
+	for rank, err := range errs {
+		var ce *fault.CorruptionError
+		if errors.As(err, &ce) {
+			return nil, fmt.Errorf("sublattice: sweep aborted on rank %d: %w", rank, err)
+		}
+	}
 	for rank, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sublattice: sweep aborted on rank %d: %w", rank, err)

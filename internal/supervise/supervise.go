@@ -1,0 +1,342 @@
+// Package supervise is the self-healing runtime around the TensorKMC
+// engines. At the paper's scale (~27.5 M cores, 54 T atoms) the
+// machine's mean time between failures is shorter than a production
+// run, so a failed segment is an operational routine, not an exception:
+// the supervisor tears down the broken world, restores the last
+// known-good state — an in-memory shadow checkpoint, falling back to
+// the on-disk TKMCBOX2/.bak — rebuilds the ranks, and replays the
+// segment, with bounded retries and exponential backoff whose jitter is
+// drawn from a seeded stream (no wall-clock randomness in library
+// code).
+//
+// Failures split into two classes. Transient ones — a stalled rank, a
+// dropped or timed-out exchange, drifted state caught by the invariant
+// auditor — are survivable: restore and replay reproduces the bit-exact
+// trajectory, because parallel segments reseed from seed+segment and
+// serial checkpoints carry the RNG stream and vacancy slot order.
+// Numerical corruption (*fault.CorruptionError from the NaN/Inf
+// tripwires) is not: the poison is in memory and deterministic replay
+// would only reproduce it, so the supervisor fails fast with a typed
+// UnrecoverableError instead of burning retries.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tensorkmc/internal/audit"
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/fault"
+	"tensorkmc/internal/rng"
+)
+
+// Failure describes one failed segment attempt, as passed to the
+// OnFailure observer before the supervisor backs off and restores.
+type Failure struct {
+	// Segment is the supervisor's 1-based segment counter.
+	Segment int
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int
+	// Err is the failure.
+	Err error
+	// Backoff is the sleep the supervisor will take before restoring,
+	// zero when retries are already exhausted.
+	Backoff time.Duration
+}
+
+// Config tunes the supervisor. The zero value retries nothing and
+// audits only after recoveries.
+type Config struct {
+	// MaxRetries bounds the replays per segment; 0 fails on the first
+	// error (but still classifies it).
+	MaxRetries int
+	// Segment is the supervised quantum in simulated seconds: Run
+	// slices its duration into segments of this length, committing a
+	// fresh shadow checkpoint after each. 0 treats each Run call as one
+	// segment.
+	Segment float64
+	// AuditEvery runs the invariant auditor after every Nth successful
+	// segment; 0 disables periodic audits (recovery-path audits always
+	// run). Off means zero overhead in the segment loop.
+	AuditEvery int
+	// BackoffBase and BackoffMax shape the exponential backoff
+	// (defaults 10ms and 2s). The actual sleep for attempt n is drawn
+	// uniformly from [d/2, d) with d = min(Base<<n, Max) — jitter from
+	// a stream seeded by Seed, not the wall clock.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the backoff jitter stream (mixed with the simulation
+	// seed, so the zero value is fine).
+	Seed uint64
+	// Sleep, if non-nil, replaces time.Sleep for the backoff waits —
+	// tests inject a no-op to keep chaos runs fast.
+	Sleep func(time.Duration)
+	// OnFailure, if non-nil, observes every failed attempt before the
+	// backoff. It is the hook where an operator (or a test) reacts to
+	// the failure — e.g. folding a replacement node into the fabric by
+	// reviving a chaos-stalled rank.
+	OnFailure func(Failure)
+}
+
+// ExhaustedError is returned when a segment keeps failing after
+// MaxRetries replays: the supervisor gives up fast with the last error
+// attached rather than hanging or retrying forever.
+type ExhaustedError struct {
+	Segment  int
+	Attempts int
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("supervise: segment %d failed %d attempt(s), retries exhausted: %v", e.Segment, e.Attempts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// UnrecoverableError is returned for failures no restore can heal:
+// numerical corruption from the tripwires, or a failure with no
+// loadable known-good state left.
+type UnrecoverableError struct {
+	Reason string
+	Err    error
+}
+
+func (e *UnrecoverableError) Error() string {
+	return fmt.Sprintf("supervise: unrecoverable (%s): %v", e.Reason, e.Err)
+}
+
+func (e *UnrecoverableError) Unwrap() error { return e.Err }
+
+// Supervisor drives a core.Simulation with automatic failure recovery.
+type Supervisor struct {
+	cfg    Config
+	simCfg core.Config
+	sim    *core.Simulation
+
+	shadow   *core.Checkpoint // last known-good full state, in memory
+	base     audit.Baseline   // conserved quantities + initial clock
+	lastTime float64          // clock at the last committed segment
+	segIndex int              // 1-based segment counter across Run calls
+	rnd      *rng.Stream      // backoff jitter
+	rec      core.Recovery
+}
+
+// New builds the simulation and captures the first shadow checkpoint
+// and invariant baseline.
+func New(simCfg core.Config, cfg Config) (*Supervisor, error) {
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("supervise: negative MaxRetries")
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	sim, err := core.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:    cfg,
+		simCfg: simCfg,
+		sim:    sim,
+		rnd:    rng.New(cfg.Seed ^ simCfg.Seed ^ 0x5e1f4ea11c0de),
+	}
+	s.shadow = sim.Checkpoint()
+	s.base = audit.Capture(sim.Box(), sim.Time())
+	s.lastTime = sim.Time()
+	return s, nil
+}
+
+// Simulation exposes the supervised simulation (replaced on recovery).
+func (s *Supervisor) Simulation() *core.Simulation { return s.sim }
+
+// Shadow exposes the current in-memory recovery point.
+func (s *Supervisor) Shadow() *core.Checkpoint { return s.shadow }
+
+// Recovery returns a snapshot of the fault-handling account so far.
+func (s *Supervisor) Recovery() *core.Recovery {
+	rec := s.rec
+	rec.FailureLog = append([]string(nil), s.rec.FailureLog...)
+	return &rec
+}
+
+// Audit runs the invariant auditor on demand: conservation and clock
+// against the baseline, then a from-scratch propensity sweep.
+func (s *Supervisor) Audit() error {
+	s.rec.Audits++
+	base := s.base
+	base.Time = s.lastTime
+	if err := audit.Check(s.sim.Box(), s.sim.Time(), base); err != nil {
+		return err
+	}
+	return audit.Propensities(s.sim.Box(), s.sim.Model(), s.sim.Cfg.Temperature)
+}
+
+// Run advances the simulation by duration seconds under supervision and
+// returns a report whose Recovery field accounts for every failure,
+// restore and replay. On an unrecoverable or retry-exhausted failure it
+// returns the typed error; the report still carries the recovery
+// account for diagnostics.
+func (s *Supervisor) Run(duration float64) (core.Report, error) {
+	if duration < 0 {
+		return core.Report{Recovery: s.Recovery()}, fmt.Errorf("supervise: negative duration")
+	}
+	remaining := duration
+	for remaining > 0 {
+		chunk := remaining
+		if s.cfg.Segment > 0 && s.cfg.Segment < chunk {
+			chunk = s.cfg.Segment
+		}
+		if err := s.runSegment(chunk); err != nil {
+			return core.Report{Recovery: s.Recovery()}, err
+		}
+		remaining -= chunk
+		if remaining <= duration*1e-12 {
+			remaining = 0
+		}
+	}
+	return core.Report{
+		Duration: duration,
+		Hops:     s.sim.Hops(),
+		Analysis: s.sim.Analyze(),
+		Recovery: s.Recovery(),
+	}, nil
+}
+
+// runSegment advances the simulation to lastTime+chunk, replaying after
+// failures until it commits or retries are exhausted.
+func (s *Supervisor) runSegment(chunk float64) error {
+	s.segIndex++
+	target := s.lastTime + chunk
+	for attempt := 1; ; attempt++ {
+		var err error
+		if left := target - s.sim.Time(); left > 0 {
+			_, err = s.sim.Run(left, nil)
+		}
+		if err == nil && s.cfg.AuditEvery > 0 && s.segIndex%s.cfg.AuditEvery == 0 {
+			err = s.Audit()
+		}
+		if err == nil {
+			s.shadow = s.sim.Checkpoint()
+			s.lastTime = s.sim.Time()
+			return nil
+		}
+
+		s.rec.Failures++
+		s.logFailure(fmt.Sprintf("segment %d attempt %d: %v", s.segIndex, attempt, err))
+		var ce *fault.CorruptionError
+		if errors.As(err, &ce) {
+			s.notify(Failure{Segment: s.segIndex, Attempt: attempt, Err: err})
+			return &UnrecoverableError{Reason: "numerical corruption", Err: err}
+		}
+		if attempt > s.cfg.MaxRetries {
+			s.notify(Failure{Segment: s.segIndex, Attempt: attempt, Err: err})
+			return &ExhaustedError{Segment: s.segIndex, Attempts: attempt, Err: err}
+		}
+
+		backoff := s.backoff(attempt - 1)
+		s.notify(Failure{Segment: s.segIndex, Attempt: attempt, Err: err, Backoff: backoff})
+		s.cfg.Sleep(backoff)
+		s.rec.BackoffTotal += backoff
+
+		timeAtFailure := s.sim.Time()
+		if rerr := s.restore(); rerr != nil {
+			return &UnrecoverableError{Reason: "no recoverable state", Err: errors.Join(err, rerr)}
+		}
+		if lost := timeAtFailure - s.sim.Time(); lost > 0 {
+			s.rec.ReplayedTime += lost
+		}
+		s.rec.Replays++
+	}
+}
+
+// restore tears down the failed simulation and rebuilds it from the
+// best available known-good state: the in-memory shadow first, then the
+// on-disk checkpoint chain. Every restored state is audited before the
+// supervisor trusts it.
+func (s *Supervisor) restore() error {
+	shadowErr := s.restoreFrom(s.shadow)
+	if shadowErr == nil {
+		s.rec.ShadowRestores++
+		return nil
+	}
+	s.logFailure(fmt.Sprintf("shadow restore rejected: %v", shadowErr))
+	if s.simCfg.CheckpointPath == "" {
+		return fmt.Errorf("supervise: shadow restore failed and no disk checkpoint configured: %w", shadowErr)
+	}
+	// Walk the on-disk chain ourselves — primary, then the rotated
+	// last-good .bak — because a failed segment may have already
+	// overwritten the primary with a state the auditor rejects even
+	// though its CRC is intact.
+	var diskErr error
+	for _, p := range []string{s.simCfg.CheckpointPath, s.simCfg.CheckpointPath + ".bak"} {
+		ck, err := core.LoadCheckpointFile(p)
+		if err == nil {
+			err = s.restoreFrom(ck)
+			if err == nil {
+				s.shadow = ck
+				s.rec.DiskRestores++
+				return nil
+			}
+		}
+		s.logFailure(fmt.Sprintf("disk restore from %s rejected: %v", p, err))
+		diskErr = errors.Join(diskErr, fmt.Errorf("%s: %w", p, err))
+	}
+	return fmt.Errorf("supervise: shadow restore failed (%v); disk checkpoint chain exhausted: %w", shadowErr, diskErr)
+}
+
+// restoreFrom rebuilds the simulation from one checkpoint and audits
+// the result (conservation against the run baseline, clock sane,
+// propensities finite) before committing to it.
+func (s *Supervisor) restoreFrom(ck *core.Checkpoint) error {
+	cfg := s.simCfg
+	cfg.Restart = ck
+	cfg.InitialBox = nil
+	sim, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.rec.Audits++
+	if err := audit.Check(sim.Box(), sim.Time(), s.base); err != nil {
+		return err
+	}
+	if err := audit.Propensities(sim.Box(), sim.Model(), sim.Cfg.Temperature); err != nil {
+		return err
+	}
+	s.sim = sim
+	return nil
+}
+
+// backoff returns the jittered exponential delay for the given 0-based
+// retry index: uniform in [d/2, d) with d = min(Base<<n, Max).
+func (s *Supervisor) backoff(n int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 0; i < n && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(s.rnd.Float64()*float64(half))
+}
+
+func (s *Supervisor) notify(f Failure) {
+	if s.cfg.OnFailure != nil {
+		s.cfg.OnFailure(f)
+	}
+}
+
+// logFailure appends to the bounded failure log.
+func (s *Supervisor) logFailure(line string) {
+	const maxLog = 32
+	if len(s.rec.FailureLog) < maxLog {
+		s.rec.FailureLog = append(s.rec.FailureLog, line)
+	}
+}

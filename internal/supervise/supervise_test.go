@@ -1,0 +1,398 @@
+package supervise
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/mpi"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// noSleep keeps recovery tests fast: the backoff schedule is still
+// computed (and accounted in Recovery.BackoffTotal), just not waited.
+func noSleep(time.Duration) {}
+
+func parallelConfig(seed uint64) core.Config {
+	return core.Config{
+		Cells: [3]int{16, 16, 16}, CuFraction: 0.03, VacancyFraction: 0.001,
+		Seed: seed, Ranks: [3]int{2, 2, 1},
+		ExchangeTimeout: 200 * time.Millisecond,
+	}
+}
+
+// referenceRun computes the unperturbed trajectory with the same
+// segmentation the supervisor uses (segment boundaries are part of the
+// trajectory contract).
+func referenceRun(t *testing.T, cfg core.Config, segment float64, n int) *core.Simulation {
+	t.Helper()
+	cfg.Chaos = nil
+	ref, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := ref.Run(segment, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+// TestChaosMatrix is the headline acceptance test: a supervised
+// parallel run under each chaos mode — message drops, duplication,
+// delay-induced reordering, delay past the exchange timeout, a dead
+// rank (revived by the OnFailure hook, the replacement-node analogue),
+// and everything at once — must converge to the bit-exact trajectory of
+// the unperturbed reference, with every injected failure healed by a
+// restore-and-replay the recovery report accounts for.
+func TestChaosMatrix(t *testing.T) {
+	const segment = 5e-8
+	const segments = 2
+
+	cases := []struct {
+		name  string
+		chaos func() *mpi.Chaos
+		// onFailure, if non-nil, wraps the chaos handle into the
+		// supervisor's failure hook.
+		onFailure func(*mpi.Chaos) func(Failure)
+		// mustReplay asserts that at least one segment actually failed
+		// and was replayed (deterministic-fault cases only).
+		mustReplay bool
+	}{
+		{
+			// A transient drop burst: every message lost until the fault
+			// budget runs dry, then a clean fabric. The first segment must
+			// fail with a stall and replay cleanly.
+			name:       "drop-burst",
+			chaos:      func() *mpi.Chaos { return mpi.NewChaos(101).WithDrop(1).WithBudget(2) },
+			mustReplay: true,
+		},
+		{
+			// Every message duplicated, forever: the sequence-tagged
+			// exchange must dedup them all with zero failures.
+			name:  "duplicate-storm",
+			chaos: func() *mpi.Chaos { return mpi.NewChaos(102).WithDuplicate(1) },
+		},
+		{
+			// Every message late by a few ms (well inside the timeout):
+			// pairwise FIFO is violated, the stash reorders, no failures.
+			name:  "delay-reorder",
+			chaos: func() *mpi.Chaos { return mpi.NewChaos(103).WithDelay(1, 2*time.Millisecond) },
+		},
+		{
+			// A delay burst longer than the exchange timeout is
+			// indistinguishable from loss: stall, then replay after the
+			// budget is spent.
+			name:       "delay-timeout",
+			chaos:      func() *mpi.Chaos { return mpi.NewChaos(104).WithDelay(1, 2*time.Second).WithBudget(2) },
+			mustReplay: true,
+		},
+		{
+			// A rank dies outright. The OnFailure hook plays the job
+			// scheduler: it folds a replacement node into the fabric
+			// (Revive) and the supervisor's teardown-and-rebuild replays
+			// the segment on the healthy world.
+			name:  "dead-rank",
+			chaos: func() *mpi.Chaos { c := mpi.NewChaos(105); c.StallRank(2); return c },
+			onFailure: func(c *mpi.Chaos) func(Failure) {
+				return func(Failure) { c.Revive(2) }
+			},
+			mustReplay: true,
+		},
+		{
+			// The kitchen sink, budget-bounded: whatever mix of faults the
+			// dice produce, the supervised trajectory must still match.
+			name: "combo",
+			chaos: func() *mpi.Chaos {
+				return mpi.NewChaos(106).WithDrop(0.3).WithDuplicate(0.3).WithDelay(0.3, time.Millisecond).WithBudget(6)
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			simCfg := parallelConfig(41)
+			ref := referenceRun(t, simCfg, segment, segments)
+
+			chaos := tc.chaos()
+			simCfg.Chaos = chaos
+			cfg := Config{MaxRetries: 4, Segment: segment, Sleep: noSleep, BackoffBase: time.Millisecond}
+			if tc.onFailure != nil {
+				cfg.OnFailure = tc.onFailure(chaos)
+			}
+			sup, err := New(simCfg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := sup.Run(segment * segments)
+			if err != nil {
+				t.Fatalf("supervised run failed: %v\nlog: %v", err, report.Recovery.FailureLog)
+			}
+
+			sim := sup.Simulation()
+			if sim.Time() != ref.Time() || sim.Hops() != ref.Hops() {
+				t.Fatalf("supervised (%v, %d) != reference (%v, %d)", sim.Time(), sim.Hops(), ref.Time(), ref.Hops())
+			}
+			if !sim.Box().Equal(ref.Box()) {
+				t.Fatal("supervised trajectory diverged from the unperturbed reference")
+			}
+			rec := report.Recovery
+			if rec == nil {
+				t.Fatal("supervised report has no recovery account")
+			}
+			if tc.mustReplay {
+				if !rec.Recovered() || rec.Failures == 0 || rec.ShadowRestores == 0 {
+					t.Fatalf("injected fault left no recovery trace: %+v", rec)
+				}
+				if rec.Summary() == "" {
+					t.Fatal("recovered run renders an empty summary")
+				}
+				if rec.BackoffTotal <= 0 {
+					t.Fatalf("replays took no backoff: %+v", rec)
+				}
+			}
+			t.Logf("%s: %d failures, %d replays, chaos stats %+v", tc.name, rec.Failures, rec.Replays, chaos.Stats())
+		})
+	}
+}
+
+// TestSupervisorSerialCleanMatchesUnsupervised: with a healthy fabric
+// the supervisor — including per-segment audits — must be invisible:
+// same trajectory as a plain run, empty recovery record.
+func TestSupervisorSerialCleanMatchesUnsupervised(t *testing.T) {
+	cfg := core.Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 43}
+	const segment = 2e-8
+	ref := referenceRun(t, cfg, segment, 2)
+
+	sup, err := New(cfg, Config{MaxRetries: 2, Segment: segment, AuditEvery: 1, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sup.Run(2 * segment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sup.Simulation()
+	if sim.Time() != ref.Time() || sim.Hops() != ref.Hops() || !sim.Box().Equal(ref.Box()) {
+		t.Fatal("supervised clean run diverged from the plain run")
+	}
+	rec := report.Recovery
+	if rec.Failures != 0 || rec.Replays != 0 || rec.Recovered() {
+		t.Fatalf("clean run reports recoveries: %+v", rec)
+	}
+	if rec.Audits != 2 {
+		t.Fatalf("AuditEvery=1 over 2 segments ran %d audits", rec.Audits)
+	}
+}
+
+// TestSupervisorExhaustsRetriesFailsFast: a permanently lossy fabric
+// must end in a typed ExhaustedError after exactly MaxRetries replays —
+// quickly, never a hang — with the jittered backoff schedule inside its
+// configured bounds and strictly growing.
+func TestSupervisorExhaustsRetriesFailsFast(t *testing.T) {
+	simCfg := parallelConfig(47)
+	simCfg.Chaos = mpi.NewChaos(107).WithDrop(1)
+
+	var sleeps []time.Duration
+	base := 8 * time.Millisecond
+	cfg := Config{
+		MaxRetries: 2, BackoffBase: base, BackoffMax: 64 * time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	sup, err := New(simCfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sup.Run(5e-8)
+	if err == nil {
+		t.Fatal("permanently lossy fabric did not fail")
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *ExhaustedError, got %v", err)
+	}
+	if ex.Attempts != 3 {
+		t.Fatalf("MaxRetries=2 exhausted after %d attempts", ex.Attempts)
+	}
+	var stall *mpi.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("exhaustion does not carry the underlying stall diagnostic: %v", err)
+	}
+	rec := report.Recovery
+	if rec.Replays != 2 || rec.Failures != 3 {
+		t.Fatalf("recovery account inconsistent with 3 attempts: %+v", rec)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("want 2 backoff sleeps, got %v", sleeps)
+	}
+	for i, d := range sleeps {
+		lo := (base << i) / 2
+		hi := base << i
+		if d < lo || d >= hi {
+			t.Fatalf("sleep %d = %v outside jitter window [%v, %v)", i, d, lo, hi)
+		}
+	}
+	if sleeps[1] <= sleeps[0] {
+		t.Fatalf("backoff not growing: %v", sleeps)
+	}
+}
+
+// TestSupervisorCorruptionUnrecoverable: a NaN poisoned into the
+// potential's weights — the bit-flip the tripwires exist for — must
+// surface as a typed UnrecoverableError on the first attempt. Replaying
+// would deterministically reproduce the poison, so the supervisor must
+// not burn a single retry on it.
+func TestSupervisorCorruptionUnrecoverable(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{desc.Dim(), 8, 1}, rng.New(51))
+	pot.Nets[0].Layers[0].W.Data[0] = math.NaN()
+
+	cfg := core.Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 53,
+		Potential: core.NNP, Net: pot,
+	}
+	sup, err := New(cfg, Config{MaxRetries: 5, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sup.Run(1e-8)
+	var un *UnrecoverableError
+	if !errors.As(err, &un) {
+		t.Fatalf("want *UnrecoverableError, got %v", err)
+	}
+	if report.Recovery.Replays != 0 {
+		t.Fatalf("supervisor burned %d replays on deterministic corruption", report.Recovery.Replays)
+	}
+}
+
+// TestSupervisorAuditHealsStateDrift: silent state corruption between
+// segments (an Fe transmuted to Cu behind the engine's back) is exactly
+// what the invariant auditor exists for. With AuditEvery=1 it must be
+// caught at the next segment boundary and healed by a shadow restore,
+// leaving the final state bit-identical to the clean reference.
+func TestSupervisorAuditHealsStateDrift(t *testing.T) {
+	cfg := core.Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 57}
+	const segment = 2e-8
+	ref := referenceRun(t, cfg, segment, 2)
+
+	sup, err := New(cfg, Config{MaxRetries: 2, Segment: segment, AuditEvery: 1, Sleep: noSleep, BackoffBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(segment); err != nil {
+		t.Fatal(err)
+	}
+	corruptFirstFe(t, sup.Simulation().Box())
+
+	report, err := sup.Run(segment)
+	if err != nil {
+		t.Fatalf("supervisor failed to heal state drift: %v", err)
+	}
+	rec := report.Recovery
+	if rec.ShadowRestores == 0 || !rec.Recovered() {
+		t.Fatalf("drift healed without a shadow restore? %+v", rec)
+	}
+	sim := sup.Simulation()
+	if sim.Time() != ref.Time() || sim.Hops() != ref.Hops() || !sim.Box().Equal(ref.Box()) {
+		t.Fatal("healed trajectory differs from the clean reference")
+	}
+}
+
+// TestSupervisorDiskFallback: with the in-memory shadow corrupted too,
+// the supervisor must reject it at restore audit and fall back to the
+// on-disk TKMCBOX2 checkpoint — and still converge bit-exactly.
+func TestSupervisorDiskFallback(t *testing.T) {
+	cfg := core.Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 61}
+	const segment = 2e-8
+	ref := referenceRun(t, cfg, segment, 2)
+
+	cfg.CheckpointPath = t.TempDir() + "/ck.tkmc"
+	sup, err := New(cfg, Config{MaxRetries: 2, Segment: segment, AuditEvery: 1, Sleep: noSleep, BackoffBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(segment); err != nil {
+		t.Fatal(err)
+	}
+	// Poison both the live state and the shadow: only the disk
+	// checkpoint written at the end of segment 1 is left to trust.
+	corruptFirstFe(t, sup.Simulation().Box())
+	corruptFirstFe(t, sup.Shadow().Box)
+
+	report, err := sup.Run(segment)
+	if err != nil {
+		t.Fatalf("disk fallback failed: %v\nlog: %v", err, report.Recovery.FailureLog)
+	}
+	rec := report.Recovery
+	if rec.DiskRestores == 0 {
+		t.Fatalf("recovery did not use the disk checkpoint: %+v", rec)
+	}
+	if rec.ShadowRestores != 0 {
+		t.Fatalf("corrupted shadow was trusted: %+v", rec)
+	}
+	sim := sup.Simulation()
+	if sim.Time() != ref.Time() || sim.Hops() != ref.Hops() || !sim.Box().Equal(ref.Box()) {
+		t.Fatal("disk-recovered trajectory differs from the clean reference")
+	}
+	if rec.ReplayedTime <= 0 {
+		t.Fatalf("replayed simulated time not accounted: %+v", rec)
+	}
+}
+
+// TestSupervisorNoRecoverableState: live state, shadow and disk all
+// poisoned — nothing left to restore. The supervisor must give up with
+// a typed UnrecoverableError instead of looping.
+func TestSupervisorNoRecoverableState(t *testing.T) {
+	cfg := core.Config{Cells: [3]int{10, 10, 10}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 67}
+	sup, err := New(cfg, Config{MaxRetries: 3, AuditEvery: 1, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFirstFe(t, sup.Simulation().Box())
+	corruptFirstFe(t, sup.Shadow().Box)
+	_, err = sup.Run(1e-8)
+	var un *UnrecoverableError
+	if !errors.As(err, &un) {
+		t.Fatalf("want *UnrecoverableError, got %v", err)
+	}
+}
+
+// TestSupervisorOnDemandAudit: Audit() on a healthy state passes and is
+// counted; after injected drift it reports the violation.
+func TestSupervisorOnDemandAudit(t *testing.T) {
+	cfg := core.Config{Cells: [3]int{8, 8, 8}, CuFraction: 0.03, VacancyFraction: 0.002, Seed: 71}
+	sup, err := New(cfg, Config{Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Audit(); err != nil {
+		t.Fatalf("fresh state failed audit: %v", err)
+	}
+	corruptFirstFe(t, sup.Simulation().Box())
+	if err := sup.Audit(); err == nil {
+		t.Fatal("drifted state passed audit")
+	}
+	if sup.Recovery().Audits != 2 {
+		t.Fatalf("audits not counted: %+v", sup.Recovery())
+	}
+}
+
+// corruptFirstFe transmutes the first Fe site to Cu — total site count
+// conserved, species counts silently drifted.
+func corruptFirstFe(t *testing.T, box *lattice.Box) {
+	t.Helper()
+	for i := 0; i < box.NumSites(); i++ {
+		if box.GetIndex(i) == lattice.Fe {
+			box.SetIndex(i, lattice.Cu)
+			return
+		}
+	}
+	t.Fatal("no Fe site to corrupt")
+}
