@@ -5,7 +5,10 @@
 package tensorkmc_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 
 	"tensorkmc/internal/bondcount"
@@ -13,6 +16,7 @@ import (
 	"tensorkmc/internal/dataset"
 	"tensorkmc/internal/eam"
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/evalserve"
 	"tensorkmc/internal/feature"
 	"tensorkmc/internal/fusion"
 	"tensorkmc/internal/kmc"
@@ -506,6 +510,124 @@ func BenchmarkCPEFeatureOperator(b *testing.B) {
 		}
 		b.ReportMetric(modelled*1e6, "model-µs")
 	})
+}
+
+// --- Evaluation service benches ----------------------------------------
+//
+// BenchmarkHopEnergiesUncached / BenchmarkHopEnergiesCached measure the
+// same recurring dilute-alloy workload against the direct NNP evaluator
+// and against the shared evaluation service (content-addressed cache +
+// fused batcher). Results accumulate into BENCH_evalserve.json — hit
+// rate, ns/op, and the batch-width occupancy sweep — so a bench run
+// leaves a machine-readable report next to the human one.
+
+var (
+	evalBenchMu     sync.Mutex
+	evalBenchReport = map[string]any{}
+)
+
+// recordEvalBench merges one measurement into BENCH_evalserve.json.
+// Every update rewrites the file, so whichever subset of the benches ran
+// still leaves a consistent report; the cached/uncached speedup is
+// derived once both sides are present.
+func recordEvalBench(key string, val any) {
+	evalBenchMu.Lock()
+	defer evalBenchMu.Unlock()
+	evalBenchReport[key] = val
+	cached, okC := evalBenchReport["cached_ns_per_op"].(float64)
+	uncached, okU := evalBenchReport["uncached_ns_per_op"].(float64)
+	if okC && okU && cached > 0 {
+		evalBenchReport["speedup"] = uncached / cached
+	}
+	js, err := json.MarshalIndent(evalBenchReport, "", "  ")
+	if err != nil {
+		return
+	}
+	os.WriteFile("BENCH_evalserve.json", append(js, '\n'), 0o644)
+}
+
+// evalBenchWorkload builds the shared fixture: a short-cutoff NNP and a
+// recurring set of vacancy environments from a dilute Fe–Cu box — the
+// production access pattern the cache exploits (Sec. 3.2).
+func evalBenchWorkload(n int) (*nnp.Potential, *encoding.Tables, []encoding.VET) {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffShort)
+	desc := feature.Standard(units.CutoffShort)
+	pot := nnp.NewPotential(desc, []int{desc.Dim(), 32, 16, 1}, rng.New(40))
+	box := lattice.NewBox(14, 14, 14, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.05, 0.0, rng.New(41))
+	r := rng.New(42)
+	vets := make([]encoding.VET, 0, n)
+	for len(vets) < n {
+		c := lattice.Vec{X: 2 * int(r.Uint64()%14), Y: 2 * int(r.Uint64()%14), Z: 2 * int(r.Uint64()%14)}
+		old := box.Get(c)
+		box.Set(c, lattice.Vacancy)
+		vet := tb.NewVET()
+		tb.FillVET(vet, c, box.Get)
+		box.Set(c, old)
+		vets = append(vets, vet)
+	}
+	return pot, tb, vets
+}
+
+func BenchmarkHopEnergiesUncached(b *testing.B) {
+	pot, tb, vets := evalBenchWorkload(32)
+	ev := nnp.NewLatticeEvaluator(pot, tb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.HopEnergies(vets[i%len(vets)])
+	}
+	b.StopTimer()
+	recordEvalBench("uncached_ns_per_op", float64(b.Elapsed().Nanoseconds())/float64(b.N))
+}
+
+func BenchmarkHopEnergiesCached(b *testing.B) {
+	pot, tb, vets := evalBenchWorkload(32)
+	srv := evalserve.New(evalserve.NewFusionBackend(pot, tb, evalserve.F64), evalserve.Options{Capacity: 1 << 12})
+	defer srv.Close()
+	// Warm pass: the recurring environments enter the cache here, so the
+	// timed loop measures the steady state the paper's cache targets.
+	for _, vet := range vets {
+		srv.HopEnergies(vet)
+	}
+	pre := srv.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.HopEnergies(vets[i%len(vets)])
+	}
+	b.StopTimer()
+	st := srv.Stats()
+	hits, misses := st.Hits-pre.Hits, st.Misses-pre.Misses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(100*hitRate, "%hit")
+	recordEvalBench("cached_ns_per_op", float64(b.Elapsed().Nanoseconds())/float64(b.N))
+	recordEvalBench("hit_rate", hitRate)
+	recordEvalBench("batch_occupancy", st.Occupancy())
+}
+
+// BenchmarkEvalBatchWidth sweeps the fused batch width: the wide-matrix
+// amortisation the batcher buys when many engines miss concurrently.
+func BenchmarkEvalBatchWidth(b *testing.B) {
+	pot, tb, vets := evalBenchWorkload(64)
+	for _, width := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			fb := evalserve.NewFusionBackend(pot, tb, evalserve.F64)
+			batch := make([]encoding.VET, width)
+			for i := range batch {
+				batch[i] = vets[i%len(vets)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fb.EvaluateBatch(batch)
+			}
+			b.StopTimer()
+			perSystem := float64(b.Elapsed().Nanoseconds()) / float64(b.N*width)
+			b.ReportMetric(perSystem, "ns/system")
+			recordEvalBench(fmt.Sprintf("batch_width_%d_ns_per_system", width), perSystem)
+		})
+	}
 }
 
 // BenchmarkAblationFastHopEnergies compares the exact full-resummation

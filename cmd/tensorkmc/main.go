@@ -102,6 +102,10 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 		return exitUsage
 	}
 
+	// Recovery may replace the simulation; close whichever is current on
+	// exit so the evaluation service's workers drain.
+	defer func() { sup.Simulation().Close() }()
+
 	sim := sup.Simulation()
 	fe, cu, vac := sim.Box().Count()
 	fmt.Fprintf(stdout, "tensorkmc: %dx%dx%d cells (%d sites): %d Fe, %d Cu, %d vacancies\n",
@@ -114,6 +118,9 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 	}
 	if deck.MaxRetries > 0 || deck.AuditEvery > 0 {
 		fmt.Fprintf(stdout, "tensorkmc: supervised: max_retries=%d audit_every=%d\n", deck.MaxRetries, deck.AuditEvery)
+	}
+	if cfg.EvalCache > 0 {
+		fmt.Fprintf(stdout, "tensorkmc: evaluation service: cache=%d entries\n", cfg.EvalCache)
 	}
 
 	snapshots := deck.Snapshots
@@ -156,6 +163,9 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 	fmt.Fprintf(stdout, "tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",
 		sim.Hops(), time.Since(start).Seconds(),
 		float64(sim.Hops())/time.Since(start).Seconds())
+	if st, ok := sim.EvalStats(); ok {
+		fmt.Fprintln(stdout, "tensorkmc:", st.String())
+	}
 	rec := sup.Recovery()
 	if s := rec.Summary(); s != "" {
 		fmt.Fprintln(stdout, "tensorkmc:", s)

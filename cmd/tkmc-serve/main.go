@@ -1,0 +1,142 @@
+// Command tkmc-serve exposes a shared evaluation service over TCP: one
+// potential, one content-addressed vacancy-system cache, one batching
+// worker pool — any number of KMC clients. Remote engines connect with
+// evalserve.Dial (which implements kmc.Model) and submit canonical
+// vacancy environments; identical environments from different clients
+// are answered from the same cache entry, and concurrent misses are
+// coalesced into wide fused batches.
+//
+// Usage:
+//
+//	tkmc-serve [-addr host:port] [-potential eam|bondcount|<nnp-file>]
+//	           [-lattice Å] [-cutoff Å]
+//	           [-cache N] [-shards N] [-batch N] [-workers N] [-f32]
+//
+// The server prints its bound address on startup (use -addr 127.0.0.1:0
+// to let the kernel pick a port) and, on SIGINT/SIGTERM, drains the
+// worker pool and prints the final service counters.
+//
+// Exit codes:
+//
+//	0  clean shutdown
+//	1  runtime failure (listen error)
+//	2  usage error (bad flag, unloadable potential)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tensorkmc/internal/bondcount"
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/evalserve"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/units"
+)
+
+const (
+	exitClean   = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sig))
+}
+
+// realMain is the testable entry point: it serves until a signal
+// arrives, then drains and reports.
+func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("tkmc-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7865", "TCP listen address")
+	potName := fs.String("potential", "eam", "'eam', 'bondcount', or a trained NNP file path")
+	latticeA := fs.Float64("lattice", units.LatticeConstantFe, "lattice constant (Å)")
+	cutoff := fs.Float64("cutoff", units.CutoffStandard, "interaction cutoff (Å)")
+	cache := fs.Int("cache", 0, "cache capacity in entries (0 = default)")
+	shards := fs.Int("shards", 0, "cache shard count (0 = default)")
+	batch := fs.Int("batch", 0, "max systems per fused batch (0 = default)")
+	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = default)")
+	f32 := fs.Bool("f32", false, "run fused NNP batches in f32 (not bit-identical to f64)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	tb := encoding.New(*latticeA, *cutoff)
+	opts := evalserve.Options{
+		Capacity: *cache, Shards: *shards, MaxBatch: *batch, Workers: *workers,
+	}.WithDefaults()
+	be, err := buildBackend(*potName, tb, opts, *f32)
+	if err != nil {
+		fmt.Fprintln(stderr, "tkmc-serve:", err)
+		return exitUsage
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tkmc-serve:", err)
+		return exitRuntime
+	}
+	srv := evalserve.New(be, opts)
+	fe := evalserve.Serve(srv, ln)
+	fmt.Fprintf(stdout, "tkmc-serve: listening on %s (potential %s, a=%g Å, rcut=%g Å, N_all=%d)\n",
+		fe.Addr(), *potName, *latticeA, *cutoff, tb.NAll)
+	fmt.Fprintf(stdout, "tkmc-serve: cache %d entries × %d shards, batches ≤ %d on %d workers\n",
+		opts.Capacity, opts.Shards, opts.MaxBatch, opts.Workers)
+
+	<-sig
+	fe.Close()
+	srv.Close()
+	fmt.Fprintln(stdout, "tkmc-serve:", srv.Stats().String())
+	return exitClean
+}
+
+// buildBackend maps the -potential flag to an evaluation backend over
+// the given tables. Any name that is not a built-in potential is loaded
+// as a trained NNP file.
+func buildBackend(name string, tb *encoding.Tables, opts evalserve.Options, f32 bool) (evalserve.Backend, error) {
+	switch name {
+	case "eam":
+		params := eam.Default()
+		if params.RCut > tb.Rcut {
+			// Narrow the potential to the table cutoff so short-cutoff
+			// services work out of the box.
+			params.RCut = tb.Rcut
+			if params.RIn >= params.RCut {
+				params.RIn = 0.9 * params.RCut
+			}
+		}
+		pot := eam.New(params)
+		return evalserve.NewModelBackend(func() kmc.Model {
+			return eam.NewFastRegionEvaluator(pot, tb)
+		}, opts.Workers), nil
+	case "bondcount":
+		params := bondcount.FeCu()
+		return evalserve.NewModelBackend(func() kmc.Model {
+			return bondcount.NewEvaluator(params, tb)
+		}, opts.Workers), nil
+	default:
+		pot, err := nnp.LoadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("loading NNP %q: %w", name, err)
+		}
+		if pot.Desc.Rcut > tb.Rcut+1e-9 {
+			return nil, fmt.Errorf("potential cutoff %g exceeds table cutoff %g", pot.Desc.Rcut, tb.Rcut)
+		}
+		prec := evalserve.F64
+		if f32 {
+			prec = evalserve.F32
+		}
+		return evalserve.NewFusionBackend(pot, tb, prec), nil
+	}
+}

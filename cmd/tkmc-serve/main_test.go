@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/evalserve"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// syncBuffer is an io.Writer safe to read while realMain writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncBuffer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncBuffer) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// waitForAddr polls the startup banner for the bound address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, "listening on ") {
+				return strings.Fields(line)[3]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output so far:\n%s", out.String())
+	return ""
+}
+
+// sampleVETs collects vacancy environments from a dilute Fe–Cu box.
+func sampleVETs(tb *encoding.Tables, n int, seed uint64) []encoding.VET {
+	box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.05, 0.0, rng.New(seed))
+	r := rng.New(seed + 1)
+	out := make([]encoding.VET, 0, n)
+	for len(out) < n {
+		c := lattice.Vec{X: 2 * int(r.Uint64()%12), Y: 2 * int(r.Uint64()%12), Z: 2 * int(r.Uint64()%12)}
+		old := box.Get(c)
+		box.Set(c, lattice.Vacancy)
+		vet := tb.NewVET()
+		tb.FillVET(vet, c, box.Get)
+		box.Set(c, old)
+		out = append(out, vet)
+	}
+	return out
+}
+
+// TestServeConcurrentClients boots the real command on an ephemeral
+// port, hammers it with 8 concurrent TCP clients, and shuts it down
+// with a signal — the CLI acceptance path end to end.
+func TestServeConcurrentClients(t *testing.T) {
+	out := &syncBuffer{}
+	errOut := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0", "-cutoff", "5.8",
+			"-cache", "256", "-batch", "8", "-workers", "2",
+		}, out, errOut, sig)
+	}()
+	addr := waitForAddr(t, out)
+
+	// Reference results through one sequential client.
+	ref, err := evalserve.Dial(addr, units.LatticeConstantFe, 5.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	vets := sampleVETs(ref.Tables(), 10, 31)
+	want := make([]evalserve.Result, len(vets))
+	for i, vet := range vets {
+		if want[i], err = ref.Evaluate(vet); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clients = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := evalserve.Dial(addr, units.LatticeConstantFe, 5.8)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for r := 0; r < rounds; r++ {
+				i := (c + r) % len(vets)
+				res, err := cl.Evaluate(vets[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res != want[i] {
+					errs <- io.ErrUnexpectedEOF // sentinel: mismatch
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("client failed: %v", err)
+	}
+
+	st, err := ref.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Hits + st.Misses; got != int64(len(vets)+clients*rounds) {
+		t.Fatalf("lookup count %d, want %d", got, len(vets)+clients*rounds)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != exitClean {
+			t.Fatalf("exit code %d, want %d; stderr:\n%s", code, exitClean, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on signal")
+	}
+	if !strings.Contains(out.String(), "evalserve:") {
+		t.Fatalf("shutdown did not print service stats; output:\n%s", out.String())
+	}
+}
+
+// TestServeUsageErrors: unloadable potentials and bad flags exit 2
+// without binding a socket.
+func TestServeUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"missing nnp file": {"-potential", "/nonexistent/potential.tknnp"},
+		"unknown flag":     {"-definitely-not-a-flag"},
+	} {
+		if code := realMain(args, io.Discard, io.Discard, nil); code != exitUsage {
+			t.Errorf("%s: exit code %d, want %d", name, code, exitUsage)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"tensorkmc/internal/cluster"
 	"tensorkmc/internal/eam"
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/evalserve"
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/lattice"
@@ -88,6 +89,23 @@ type Config struct {
 	CheckpointPath  string
 	CheckpointEvery float64
 
+	// EvalCache, when positive, routes every energy evaluation through a
+	// shared evalserve.Server: a content-addressed cache of EvalCache
+	// entries over a batching backend (the big-fusion path for NNP, a
+	// model pool otherwise), shared by every rank of a parallel run. The
+	// default f64 service is bit-identical to direct evaluation, so
+	// trajectories are unchanged — only faster on recurring environments.
+	EvalCache int
+	// EvalShards, EvalBatch and EvalWorkers tune the service (zero takes
+	// the evalserve defaults).
+	EvalShards  int
+	EvalBatch   int
+	EvalWorkers int
+	// EvalF32 runs fused NNP batches in f32 — the real accelerator's
+	// arithmetic, deterministic but NOT bit-identical to the f64 engine
+	// path. Ignored for non-NNP potentials.
+	EvalF32 bool
+
 	// ExchangeTimeout bounds each parallel sector exchange; on expiry
 	// the sweep aborts with a diagnostic naming the stalled ranks
 	// instead of hanging. Zero means wait forever.
@@ -127,10 +145,11 @@ type Simulation struct {
 	box     *lattice.Box
 	engine  *kmc.Engine // serial path
 	model   kmc.Model
-	mkMod   func() kmc.Model // per-rank factory for the parallel path
-	time    float64          // parallel-path clock
-	hops    int64            // parallel-path hop counter
-	segment uint64           // parallel-path run counter (fresh seeds per segment)
+	mkMod   func() kmc.Model  // per-rank factory for the parallel path
+	evalSrv *evalserve.Server // shared evaluation service (nil unless EvalCache > 0)
+	time    float64           // parallel-path clock
+	hops    int64             // parallel-path hop counter
+	segment uint64            // parallel-path run counter (fresh seeds per segment)
 }
 
 // New builds a simulation: allocates and fills the box, constructs the
@@ -184,6 +203,29 @@ func New(cfg Config) (*Simulation, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown potential kind %d", cfg.Potential)
 	}
+	if cfg.EvalCache > 0 {
+		opts := evalserve.Options{
+			Capacity: cfg.EvalCache,
+			Shards:   cfg.EvalShards,
+			MaxBatch: cfg.EvalBatch,
+			Workers:  cfg.EvalWorkers,
+		}
+		opts = opts.WithDefaults()
+		var be evalserve.Backend
+		if cfg.Potential == NNP {
+			prec := evalserve.F64
+			if cfg.EvalF32 {
+				prec = evalserve.F32
+			}
+			be = evalserve.NewFusionBackend(cfg.Net, s.Tables, prec)
+		} else {
+			be = evalserve.NewModelBackend(s.mkMod, opts.Workers)
+		}
+		s.evalSrv = evalserve.New(be, opts)
+		// Every rank (and the serial engine) shares the one service, so
+		// identical environments on different ranks hit the same entry.
+		s.mkMod = func() kmc.Model { return s.evalSrv }
+	}
 	s.model = s.mkMod()
 
 	if !cfg.parallel() {
@@ -199,6 +241,28 @@ func New(cfg Config) (*Simulation, error) {
 
 // Box returns the current lattice (the evolved state after runs).
 func (s *Simulation) Box() *lattice.Box { return s.box }
+
+// EvalServer exposes the shared evaluation service, nil when EvalCache
+// is off — the tkmc-serve TCP front-end attaches to it.
+func (s *Simulation) EvalServer() *evalserve.Server { return s.evalSrv }
+
+// EvalStats snapshots the evaluation-service counters; ok reports
+// whether the service is enabled.
+func (s *Simulation) EvalStats() (st evalserve.Stats, ok bool) {
+	if s.evalSrv == nil {
+		return evalserve.Stats{}, false
+	}
+	return s.evalSrv.Stats(), true
+}
+
+// Close releases background resources — today the evaluation service's
+// worker pool. It is idempotent and safe without a service; a closed
+// simulation must not Run again.
+func (s *Simulation) Close() {
+	if s.evalSrv != nil {
+		s.evalSrv.Close()
+	}
+}
 
 // Model returns the configured energy model, exposed so the physics
 // invariant auditor can recompute propensities from scratch.

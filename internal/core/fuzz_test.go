@@ -46,11 +46,11 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	f.Add(valid)
 	f.Add(pbuf.Bytes())
 	f.Add(legacy.Bytes())
-	f.Add(valid[:8])                          // magic only
-	f.Add(valid[:len(valid)/2])               // truncated body
-	f.Add(valid[:len(valid)-2])               // truncated CRC trailer
-	f.Add(append(bytes.Clone(valid), 0x00))   // trailing garbage
-	f.Add(bytes.Clone(valid[:40]))            // header cut inside counters
+	f.Add(valid[:8])                        // magic only
+	f.Add(valid[:len(valid)/2])             // truncated body
+	f.Add(valid[:len(valid)-2])             // truncated CRC trailer
+	f.Add(append(bytes.Clone(valid), 0x00)) // trailing garbage
+	f.Add(bytes.Clone(valid[:40]))          // header cut inside counters
 	for _, i := range []int{0, 8, 24, 33, 41, len(valid) / 2, len(valid) - 3} {
 		mut := bytes.Clone(valid) // bit-flipped mutants: magic, clock, flags, vacancy table, box, CRC
 		mut[i] ^= 0x10

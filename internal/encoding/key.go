@@ -1,0 +1,84 @@
+package encoding
+
+// Canonical content-addressing of vacancy systems.
+//
+// Two vacancy systems with the same VET — the same species at every CET
+// index — have identical energetics: the tables fix the geometry, so the
+// species vector is the complete local environment. That makes the VET
+// itself the natural cache key for the paper's vacancy cache (Sec. 3.2)
+// generalized across vacancies and across engines: any two vacancies
+// anywhere in the box (or on different ranks) whose environments encode
+// identically share one cache entry.
+//
+// The address has two parts:
+//
+//   - Fingerprint: a 64-bit FNV-1a hash of the canonical byte encoding,
+//     used for sharding and bucket lookup.
+//   - The canonical byte encoding itself (EncodeEnv), stored alongside
+//     every cache entry and compared on hit (MatchEnv). Hash equality is
+//     never trusted alone: the repo's trajectory contracts require cached
+//     and uncached runs to be bit-identical, and a silent hash collision
+//     would poison a trajectory undetectably.
+
+import "tensorkmc/internal/lattice"
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint returns the 64-bit FNV-1a hash of the VET's canonical byte
+// encoding. It allocates nothing and is safe for concurrent use.
+func (t *Tables) Fingerprint(vet VET) uint64 {
+	if len(vet) != t.NAll {
+		panic("encoding: Fingerprint VET length mismatch")
+	}
+	h := uint64(fnvOffset64)
+	for _, s := range vet {
+		h ^= uint64(uint8(s))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// EncodeEnv returns the canonical byte encoding of the VET: one byte per
+// CET entry in table order. The encoding is positional — it is invariant
+// exactly under changes that leave every site's species untouched (e.g.
+// exchanging two like atoms), and distinguishes any two environments that
+// differ at any site.
+func (t *Tables) EncodeEnv(vet VET) []byte {
+	if len(vet) != t.NAll {
+		panic("encoding: EncodeEnv VET length mismatch")
+	}
+	env := make([]byte, len(vet))
+	for i, s := range vet {
+		env[i] = byte(s)
+	}
+	return env
+}
+
+// DecodeEnv reconstructs a VET from its canonical byte encoding.
+func (t *Tables) DecodeEnv(env []byte) VET {
+	if len(env) != t.NAll {
+		panic("encoding: DecodeEnv length mismatch")
+	}
+	vet := t.NewVET()
+	for i, b := range env {
+		vet[i] = lattice.Species(b)
+	}
+	return vet
+}
+
+// MatchEnv reports whether a stored canonical encoding describes exactly
+// the given VET — the collision check run on every cache hit.
+func MatchEnv(env []byte, vet VET) bool {
+	if len(env) != len(vet) {
+		return false
+	}
+	for i, b := range env {
+		if byte(vet[i]) != b {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package encoding_test
+
+import (
+	"testing"
+
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+func testTables(t *testing.T) *encoding.Tables {
+	t.Helper()
+	// The short cutoff keeps the tables small enough for quick tests.
+	return encoding.New(units.LatticeConstantFe, units.CutoffShort)
+}
+
+func fillVET(t *testing.T, tb *encoding.Tables, seed uint64, center lattice.Vec) (encoding.VET, *lattice.Box) {
+	t.Helper()
+	box := lattice.NewBox(12, 12, 12, units.LatticeConstantFe)
+	lattice.FillRandomAlloy(box, 0.05, 0.001, rng.New(seed))
+	box.Set(center, lattice.Vacancy)
+	vet := tb.NewVET()
+	tb.FillVET(vet, center, box.Get)
+	return vet, box
+}
+
+// TestKeyRoundTrip: encoding a VET and decoding it back must reproduce the
+// exact environment, and therefore the exact hop energies — the property
+// the evaluation cache's bit-identity contract rests on.
+func TestKeyRoundTrip(t *testing.T) {
+	tb := testTables(t)
+	vet, _ := fillVET(t, tb, 1, lattice.Vec{X: 12, Y: 12, Z: 12})
+
+	env := tb.EncodeEnv(vet)
+	back := tb.DecodeEnv(env)
+	if len(back) != len(vet) {
+		t.Fatalf("round-trip length %d, want %d", len(back), len(vet))
+	}
+	for i := range vet {
+		if back[i] != vet[i] {
+			t.Fatalf("round-trip species mismatch at CET %d: %v != %v", i, back[i], vet[i])
+		}
+	}
+	if tb.Fingerprint(back) != tb.Fingerprint(vet) {
+		t.Fatal("round-trip changed the fingerprint")
+	}
+	if !encoding.MatchEnv(env, back) {
+		t.Fatal("round-trip env does not match itself")
+	}
+
+	// Same environment ⇒ bit-identical energies through the model.
+	params := eam.Default()
+	params.RCut = units.CutoffShort
+	params.RIn = 4.6
+	ev := eam.NewRegionEvaluator(eam.New(params), tb)
+	i1, f1, v1 := ev.HopEnergies(vet)
+	i2, f2, v2 := ev.HopEnergies(back)
+	if i1 != i2 || f1 != f2 || v1 != v2 {
+		t.Fatalf("round-tripped VET gives different energies: %v/%v vs %v/%v", i1, f1, i2, f2)
+	}
+}
+
+// TestKeyLikeAtomExchangeInvariance: the encoding is positional over
+// species, so it is invariant exactly under exchanging two like atoms
+// (the VET is unchanged), and sensitive to any species change.
+func TestKeyLikeAtomExchangeInvariance(t *testing.T) {
+	tb := testTables(t)
+	vet, _ := fillVET(t, tb, 2, lattice.Vec{X: 12, Y: 12, Z: 12})
+	base := tb.Fingerprint(vet)
+
+	// Find two distinct Fe sites and two sites of differing species.
+	feA, feB, fe, cu := -1, -1, -1, -1
+	for i := 1; i < len(vet); i++ {
+		switch vet[i] {
+		case lattice.Fe:
+			if feA < 0 {
+				feA = i
+			} else if feB < 0 {
+				feB = i
+			}
+			if fe < 0 {
+				fe = i
+			}
+		case lattice.Cu:
+			if cu < 0 {
+				cu = i
+			}
+		}
+	}
+	if feA < 0 || feB < 0 || cu < 0 {
+		t.Skip("alloy draw lacks the needed species mix")
+	}
+
+	// Exchanging two like atoms leaves every site's species — and hence
+	// the key — untouched.
+	vet[feA], vet[feB] = vet[feB], vet[feA]
+	if tb.Fingerprint(vet) != base {
+		t.Fatal("like-atom exchange changed the fingerprint")
+	}
+	if !encoding.MatchEnv(tb.EncodeEnv(vet), vet) {
+		t.Fatal("like-atom exchange broke env matching")
+	}
+
+	// Exchanging unlike atoms is a different environment.
+	vet[fe], vet[cu] = vet[cu], vet[fe]
+	if tb.Fingerprint(vet) == base {
+		t.Fatal("unlike-atom exchange did not change the fingerprint")
+	}
+}
+
+// TestKeyCrossVacancyDedup: two vacancies anywhere in the box with
+// identical local environments content-address to the same key — the
+// cross-vacancy generalisation of the paper's per-slot vacancy cache.
+func TestKeyCrossVacancyDedup(t *testing.T) {
+	tb := testTables(t)
+	box := lattice.NewBox(16, 16, 16, units.LatticeConstantFe)
+	cA := lattice.Vec{X: 4, Y: 4, Z: 4}
+	cB := lattice.Vec{X: 20, Y: 20, Z: 20}
+	box.Set(cA, lattice.Vacancy)
+	box.Set(cB, lattice.Vacancy)
+
+	vetA, vetB := tb.NewVET(), tb.NewVET()
+	tb.FillVET(vetA, cA, box.Get)
+	tb.FillVET(vetB, cB, box.Get)
+	if tb.Fingerprint(vetA) != tb.Fingerprint(vetB) {
+		t.Fatal("identical environments at different centres fingerprint differently")
+	}
+	if !encoding.MatchEnv(tb.EncodeEnv(vetA), vetB) {
+		t.Fatal("identical environments at different centres do not env-match")
+	}
+}
+
+// TestKeyNearCollisionCompare: the compare-on-hit path must reject an
+// entry whose hash matches but whose environment differs. The test
+// simulates the collision directly (two environments filed under one
+// hash), proving the match never trusts the fingerprint alone.
+func TestKeyNearCollisionCompare(t *testing.T) {
+	tb := testTables(t)
+	vetA, _ := fillVET(t, tb, 3, lattice.Vec{X: 12, Y: 12, Z: 12})
+
+	// A near-collision candidate: identical except one far-shell site.
+	vetB := append(encoding.VET(nil), vetA...)
+	for i := len(vetB) - 1; i > 0; i-- {
+		if vetB[i] == lattice.Fe {
+			vetB[i] = lattice.Cu
+			break
+		}
+	}
+
+	envA := tb.EncodeEnv(vetA)
+	// Suppose vetB's fingerprint collided with vetA's and the lookup
+	// landed on vetA's entry: the stored environment must veto the hit.
+	if encoding.MatchEnv(envA, vetB) {
+		t.Fatal("compare-on-hit accepted a differing environment")
+	}
+	// And the fingerprints do differ here, as they should for a
+	// single-site change (FNV-1a mixes every byte).
+	if tb.Fingerprint(vetA) == tb.Fingerprint(vetB) {
+		t.Fatal("single-site change produced an actual hash collision")
+	}
+}

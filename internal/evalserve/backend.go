@@ -1,0 +1,284 @@
+package evalserve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/fusion"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/sw"
+)
+
+// Result is one vacancy system's complete hop-energy evaluation: the
+// exact f64 outputs of the 1+8 state evaluation (Sec. 3.4). It is what
+// the cache stores, what the batcher returns, and what the wire protocol
+// carries.
+type Result struct {
+	Initial float64
+	Final   [8]float64
+	Valid   [8]bool
+}
+
+// Backend evaluates batches of vacancy systems. Implementations must be
+// safe for concurrent EvaluateBatch calls (the server runs a bounded
+// worker pool) and must produce, for every VET, outputs bit-identical to
+// a direct kmc.Model.HopEnergies evaluation of the same environment.
+type Backend interface {
+	Tables() *encoding.Tables
+	EvaluateBatch(vets []encoding.VET) []Result
+}
+
+// --- Generic model-pool backend ----------------------------------------
+
+// ModelBackend adapts any kmc.Model factory (EAM, bond-count, NNP) into a
+// Backend: each EvaluateBatch borrows one model from a fixed pool and
+// evaluates the systems sequentially. It brings the cache and the service
+// front-end to non-NNP potentials; the wide-matrix win needs the
+// FusionBackend.
+type ModelBackend struct {
+	tb   *encoding.Tables
+	pool chan kmc.Model
+}
+
+// NewModelBackend builds a pool of `size` models (one per concurrent
+// EvaluateBatch caller; the server sizes it to its worker count).
+func NewModelBackend(factory func() kmc.Model, size int) *ModelBackend {
+	if size < 1 {
+		size = 1
+	}
+	mb := &ModelBackend{pool: make(chan kmc.Model, size)}
+	for i := 0; i < size; i++ {
+		m := factory()
+		if mb.tb == nil {
+			mb.tb = m.Tables()
+		}
+		mb.pool <- m
+	}
+	return mb
+}
+
+// Tables returns the shared encoding tables.
+func (mb *ModelBackend) Tables() *encoding.Tables { return mb.tb }
+
+// EvaluateBatch evaluates each system through one pooled model.
+func (mb *ModelBackend) EvaluateBatch(vets []encoding.VET) []Result {
+	m := <-mb.pool
+	defer func() { mb.pool <- m }()
+	out := make([]Result, len(vets))
+	for i, vet := range vets {
+		out[i].Initial, out[i].Final, out[i].Valid = m.HopEnergies(vet)
+	}
+	return out
+}
+
+// --- Fusion-batched NNP backend ----------------------------------------
+
+// Precision selects the arithmetic of the fused evaluation.
+type Precision int
+
+const (
+	// F64 runs the big-fusion operator in double precision — per-row
+	// bit-identical to nnp.Potential.HopEnergies (the matmul is
+	// row-independent), which is what the trajectory contract requires.
+	F64 Precision = iota
+	// F32 runs fusion.RunBigFusionF32, the arithmetic of the real
+	// SW26010-pro. Faster and still deterministic, but NOT bit-identical
+	// to the f64 engine path: only opt in when a cached run is never
+	// compared against an uncached one.
+	F32
+)
+
+// FusionStats counts the accelerator-side work of a FusionBackend.
+type FusionStats struct {
+	// Batches and Systems count EvaluateBatch calls and the systems they
+	// carried; Rows counts feature rows pushed through the big-fusion
+	// operator (the batch width the accelerator actually sees).
+	Batches int64
+	Systems int64
+	Rows    int64
+	// ModeledSeconds accumulates the simulated-Sunway time of every
+	// fused kernel launch.
+	ModeledSeconds float64
+}
+
+// FusionBackend evaluates NNP vacancy systems by coalescing every region
+// site of every state of every system in the batch into per-element
+// feature matrices and running each through the big-fusion operator of
+// Sec. 3.5 — the SMC-AI pattern of turning many small Monte Carlo energy
+// requests into a few wide accelerator matrix calls. Row independence of
+// the fused matmul makes the per-site energies, and therefore the summed
+// region energies, bit-identical to the one-system-at-a-time path.
+type FusionBackend struct {
+	pot  *nnp.Potential
+	tb   *encoding.Tables
+	tab  *feature.Table
+	arch sw.Arch
+	prec Precision
+
+	mu    sync.Mutex
+	stats FusionStats
+}
+
+// NewFusionBackend binds a trained potential to tables and an (emulated)
+// accelerator architecture.
+func NewFusionBackend(pot *nnp.Potential, tb *encoding.Tables, prec Precision) *FusionBackend {
+	return &FusionBackend{
+		pot:  pot,
+		tb:   tb,
+		tab:  feature.NewTable(pot.Desc, tb.Distances),
+		arch: sw.SW26010Pro(),
+		prec: prec,
+	}
+}
+
+// Tables returns the encoding tables.
+func (fb *FusionBackend) Tables() *encoding.Tables { return fb.tb }
+
+// Stats snapshots the accelerator counters.
+func (fb *FusionBackend) Stats() FusionStats {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.stats
+}
+
+// span locates one (system, state, element) group's rows in the fused
+// per-element matrix: rows [start, start+count).
+type span struct {
+	start, count int
+}
+
+// EvaluateBatch runs the fused 1+8 evaluation for every system at once.
+func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
+	tb, pot := fb.tb, fb.pot
+	dim := pot.Desc.Dim()
+	nSys := len(vets)
+	out := make([]Result, nSys)
+
+	// Work on private copies: ApplyHop mutates the VET in place, and the
+	// caller's buffers may be shared with a blocked engine goroutine.
+	work := make([]encoding.VET, nSys)
+	for s, vet := range vets {
+		if len(vet) != tb.NAll {
+			panic(fmt.Sprintf("evalserve: VET length %d, want %d", len(vet), tb.NAll))
+		}
+		work[s] = append(encoding.VET(nil), vet...)
+	}
+
+	// Pass 1 — count rows per element so the fused matrices can be
+	// allocated exactly. State 0 is the initial state; state k+1 is hop k.
+	rowsPerElem := make([]int, lattice.NumElements)
+	spans := make([][9][lattice.NumElements]span, nSys)
+	forEachState(tb, work, func(s, state int, vet encoding.VET) {
+		for e := 0; e < lattice.NumElements; e++ {
+			n := 0
+			for i := 0; i < tb.NRegion; i++ {
+				if vet[i] == lattice.Species(e) {
+					n++
+				}
+			}
+			spans[s][state][e] = span{start: rowsPerElem[e], count: n}
+			rowsPerElem[e] += n
+		}
+	})
+
+	// Pass 2 — compute and normalise every feature row into its slot.
+	xs := make([]nnp.Matrix, lattice.NumElements)
+	for e := range xs {
+		xs[e] = nnp.NewMatrix(rowsPerElem[e], dim)
+	}
+	cursor := make([]int, lattice.NumElements)
+	feats := make([]float64, dim)
+	forEachState(tb, work, func(s, state int, vet encoding.VET) {
+		for i := 0; i < tb.NRegion; i++ {
+			sp := vet[i]
+			if !sp.IsAtom() {
+				continue
+			}
+			e := int(sp)
+			feature.ComputeSite(tb, fb.tab, vet, i, feats)
+			pot.NormalizeInto(xs[e].Row(cursor[e]), feats)
+			cursor[e]++
+		}
+	})
+
+	// One fused kernel launch per element head.
+	outs := make([]nnp.Matrix, lattice.NumElements)
+	var modeled float64
+	var totalRows int64
+	for e := range xs {
+		if xs[e].Rows == 0 {
+			outs[e] = nnp.NewMatrix(0, 1)
+			continue
+		}
+		var res fusion.Result
+		switch fb.prec {
+		case F32:
+			res = fusion.RunBigFusionF32(pot.Nets[e], xs[e], fb.arch)
+		default:
+			res = fusion.Run(fusion.BigFusion, pot.Nets[e], xs[e], fb.arch)
+		}
+		outs[e] = res.Out
+		modeled += res.Seconds
+		totalRows += int64(xs[e].Rows)
+	}
+
+	// Scatter — per (system, state), sum per-element row outputs in the
+	// exact order of Potential.RegionEnergy: element-ascending, site
+	// order within an element, then the rows·ERef term. This reproduces
+	// the uncached float addition sequence bit for bit.
+	forEachState(tb, work, func(s, state int, vet encoding.VET) {
+		total := 0.0
+		for e := 0; e < lattice.NumElements; e++ {
+			sp := spans[s][state][e]
+			col := outs[e].Data
+			for r := sp.start; r < sp.start+sp.count; r++ {
+				total += col[r]
+			}
+			total += float64(sp.count) * pot.ERef[e]
+		}
+		if math.IsNaN(total) || math.IsInf(total, 0) {
+			panic(&fault.CorruptionError{
+				Subsystem: "evalserve",
+				Detail:    fmt.Sprintf("fused region energy is %v (system %d, state %d)", total, s, state),
+			})
+		}
+		if state == 0 {
+			out[s].Initial = total
+		} else {
+			out[s].Final[state-1] = total
+			out[s].Valid[state-1] = true
+		}
+	})
+
+	fb.mu.Lock()
+	fb.stats.Batches++
+	fb.stats.Systems += int64(nSys)
+	fb.stats.Rows += totalRows
+	fb.stats.ModeledSeconds += modeled
+	fb.mu.Unlock()
+	return out
+}
+
+// forEachState visits, for every system, the initial state and each valid
+// final state, with the VET temporarily mutated into that state (hops are
+// applied and reverted exactly as Potential.HopEnergies does). States are
+// numbered 0 (initial) and k+1 (hop direction k).
+func forEachState(tb *encoding.Tables, work []encoding.VET, visit func(s, state int, vet encoding.VET)) {
+	for s, vet := range work {
+		visit(s, 0, vet)
+		for k := 0; k < 8; k++ {
+			if !vet[tb.NN1Index[k]].IsAtom() {
+				continue
+			}
+			tb.ApplyHop(vet, k)
+			visit(s, k+1, vet)
+			tb.ApplyHop(vet, k)
+		}
+	}
+}

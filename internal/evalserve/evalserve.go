@@ -1,0 +1,403 @@
+// Package evalserve is the shared NNP evaluation service: any number of
+// KMC engines — the serial engine, sublattice ranks, or remote clients on
+// the wire protocol — submit vacancy systems and receive the exact 1+8
+// hop energies of Sec. 3.4.
+//
+// Requests are (1) deduplicated through a sharded LRU cache keyed on a
+// canonical content-address of the VET local environment — the paper's
+// vacancy cache (Sec. 3.2) generalized across vacancies and across
+// engines — and (2) on miss, coalesced by a batcher into wide per-element
+// matrices evaluated through the big-fusion operator (Sec. 3.5) on a
+// bounded worker pool with backpressure and graceful drain.
+//
+// The hard contract, inherited from the repo's trajectory tests: cached
+// and uncached runs must be bit-identical. Three mechanisms enforce it —
+// the cache stores the exact f64 outputs, every hit re-verifies the full
+// encoded environment (hash equality is never trusted alone), and the
+// fused f64 batch path reproduces the uncached float-addition sequence
+// exactly (see FusionBackend).
+package evalserve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
+)
+
+// Options tune the service; zero values take the defaults.
+type Options struct {
+	// Capacity is the total cache size in entries (default 1<<15).
+	Capacity int
+	// Shards is the cache shard count (default 8, rounded up to a power
+	// of two).
+	Shards int
+	// MaxBatch bounds how many distinct systems one fused evaluation
+	// carries (default 64).
+	MaxBatch int
+	// Workers is the evaluation worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the pending-miss queue; submitters block when it
+	// is full — the service's backpressure (default 4×MaxBatch).
+	QueueDepth int
+}
+
+// WithDefaults returns a copy with every zero field resolved to its
+// default — for callers that need the effective values (e.g. to size a
+// backend pool to the worker count).
+func (o Options) WithDefaults() Options {
+	o.applyDefaults()
+	return o
+}
+
+func (o *Options) applyDefaults() {
+	if o.Capacity <= 0 {
+		o.Capacity = 1 << 15
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.MaxBatch
+	}
+}
+
+// Stats is a point-in-time account of the service.
+type Stats struct {
+	// Shards holds every cache shard's counters in shard order; the
+	// embedded aggregate sums them.
+	Shards []CacheStats
+	CacheStats
+	// Batches counts fused evaluations; BatchedSystems the distinct
+	// systems they carried; Deduped the requests answered by a
+	// batch-mate's evaluation; MaxBatchWidth the widest batch seen.
+	Batches        int64
+	BatchedSystems int64
+	Deduped        int64
+	MaxBatchWidth  int64
+	// QueueHighWater is the deepest the pending-miss queue has been.
+	QueueHighWater int64
+}
+
+// HitRate returns the cache hit fraction (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Occupancy returns the mean distinct systems per fused batch.
+func (s Stats) Occupancy() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedSystems) / float64(s.Batches)
+}
+
+// String renders the one-line operations summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("evalserve: %.1f%% hit rate (%d hits, %d misses, %d evictions), %d batches (mean width %.1f, max %d), %d deduped, queue high-water %d",
+		100*s.HitRate(), s.Hits, s.Misses, s.Evictions,
+		s.Batches, s.Occupancy(), s.MaxBatchWidth, s.Deduped, s.QueueHighWater)
+}
+
+// response carries a request's outcome back to its submitter.
+type response struct {
+	res Result
+	err error
+}
+
+// request is one pending miss.
+type request struct {
+	vet  encoding.VET
+	env  []byte
+	hash uint64
+	done chan response
+}
+
+// flight tracks one environment's in-progress evaluation so concurrent
+// misses of the same environment coalesce onto a single backend call
+// instead of racing each other into the batcher.
+type flight struct {
+	env     []byte
+	waiters []*request
+}
+
+// Server is the evaluation service. It implements kmc.Model (Tables +
+// HopEnergies) and is safe for any number of concurrent callers, so a
+// single Server can be handed to every engine in a process — the serial
+// engine, all sublattice ranks, and the TCP front-end at once.
+type Server struct {
+	be    Backend
+	tb    *encoding.Tables
+	cache *Cache
+	opts  Options
+
+	reqCh  chan *request
+	mu     sync.RWMutex // closed-flag vs in-flight submissions
+	close  sync.Once
+	done   bool        // guarded by mu: no sends after close(reqCh)
+	closed atomic.Bool // fast-path refusal, checked before the cache
+	wg     sync.WaitGroup
+
+	flightMu sync.Mutex
+	flights  map[uint64][]*flight
+
+	batches        atomic.Int64
+	batchedSystems atomic.Int64
+	deduped        atomic.Int64
+	maxBatchWidth  atomic.Int64
+	queueHighWater atomic.Int64
+}
+
+// New starts a service over the backend.
+func New(be Backend, opts Options) *Server {
+	opts.applyDefaults()
+	s := &Server{
+		be:      be,
+		tb:      be.Tables(),
+		cache:   NewCache(opts.Capacity, opts.Shards),
+		opts:    opts,
+		reqCh:   make(chan *request, opts.QueueDepth),
+		flights: map[uint64][]*flight{},
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Tables returns the shared encoding tables (kmc.Model interface).
+func (s *Server) Tables() *encoding.Tables { return s.tb }
+
+// HopEnergies resolves one vacancy system through the cache-then-batch
+// pipeline (kmc.Model interface). Corruption detected during evaluation
+// re-panics in the caller's goroutine as *fault.CorruptionError, exactly
+// like a direct model evaluation, so engine-layer recovery is unchanged.
+func (s *Server) HopEnergies(vet encoding.VET) (initial float64, final [8]float64, valid [8]bool) {
+	res, err := s.Evaluate(vet)
+	if err != nil {
+		var ce *fault.CorruptionError
+		if errors.As(err, &ce) {
+			panic(ce)
+		}
+		panic(err)
+	}
+	return res.Initial, res.Final, res.Valid
+}
+
+// Evaluate resolves one vacancy system, returning corruption as an error
+// (the form the wire front-end needs).
+func (s *Server) Evaluate(vet encoding.VET) (Result, error) {
+	if s.closed.Load() {
+		return Result{}, errors.New("evalserve: server closed")
+	}
+	hash := s.tb.Fingerprint(vet)
+	if res, ok := s.cache.Get(hash, vet); ok {
+		return res, nil
+	}
+	req := &request{vet: vet, hash: hash, done: make(chan response, 1)}
+	if s.joinFlight(req) {
+		// Another caller is already evaluating this exact environment;
+		// its completion answers us too.
+		resp := <-req.done
+		return resp.res, resp.err
+	}
+	s.mu.RLock()
+	if s.done {
+		s.mu.RUnlock()
+		err := errors.New("evalserve: server closed")
+		s.completeFlight(req.hash, req.env, Result{}, err)
+		return Result{}, err
+	}
+	s.reqCh <- req // blocks when the queue is full: backpressure
+	if q := int64(len(s.reqCh)); q > s.queueHighWater.Load() {
+		s.queueHighWater.Store(q)
+	}
+	s.mu.RUnlock()
+	resp := <-req.done
+	return resp.res, resp.err
+}
+
+// joinFlight attaches the request to an in-progress evaluation of the
+// same environment if one exists; otherwise it registers a new flight
+// (owned by this request) and reports false. The request's canonical
+// environment encoding is computed here either way.
+func (s *Server) joinFlight(req *request) bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	for _, f := range s.flights[req.hash] {
+		if encoding.MatchEnv(f.env, req.vet) {
+			f.waiters = append(f.waiters, req)
+			s.deduped.Add(1)
+			return true
+		}
+	}
+	req.env = s.tb.EncodeEnv(req.vet)
+	s.flights[req.hash] = append(s.flights[req.hash], &flight{env: req.env})
+	return false
+}
+
+// completeFlight deregisters an environment's flight and answers every
+// waiter that joined while it was pending. The cache entry must already
+// be in place (a miss arriving after deregistration re-evaluates, and the
+// batcher's second-chance lookup resolves it from the cache).
+func (s *Server) completeFlight(hash uint64, env []byte, res Result, err error) {
+	s.flightMu.Lock()
+	bucket := s.flights[hash]
+	var waiters []*request
+	for i, f := range bucket {
+		if bytes.Equal(f.env, env) {
+			waiters = f.waiters
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(s.flights, hash)
+	} else {
+		s.flights[hash] = bucket
+	}
+	s.flightMu.Unlock()
+	for _, w := range waiters {
+		w.done <- response{res: res, err: err}
+	}
+}
+
+// Close stops accepting work, drains every queued request, and waits for
+// the workers to finish — the graceful-drain contract. It is idempotent.
+func (s *Server) Close() {
+	s.close.Do(func() {
+		s.closed.Store(true)
+		s.mu.Lock()
+		s.done = true
+		close(s.reqCh)
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Shards:         s.cache.Stats(),
+		Batches:        s.batches.Load(),
+		BatchedSystems: s.batchedSystems.Load(),
+		Deduped:        s.deduped.Load(),
+		MaxBatchWidth:  s.maxBatchWidth.Load(),
+		QueueHighWater: s.queueHighWater.Load(),
+	}
+	for _, sh := range st.Shards {
+		st.CacheStats.add(sh)
+	}
+	return st
+}
+
+// worker pulls pending misses, coalescing everything immediately
+// available (up to MaxBatch) into one fused evaluation. With a single
+// synchronous caller batches degenerate to width 1 — correct, just
+// unamortised; concurrent engines and wire clients widen them naturally
+// without any timer latency.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		first, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		batch := []*request{first}
+		closed := false
+		for len(batch) < s.opts.MaxBatch && !closed {
+			select {
+			case r, ok := <-s.reqCh:
+				if !ok {
+					closed = true
+					break
+				}
+				batch = append(batch, r)
+			default:
+				closed = true // nothing more immediately available
+			}
+		}
+		s.serve(batch)
+	}
+}
+
+// serve deduplicates a batch, re-checks the cache (another worker may
+// have filled an entry since the miss), evaluates the remaining distinct
+// systems in one backend call, stores the exact outputs, and fans results
+// out to every submitter.
+func (s *Server) serve(batch []*request) {
+	// Every queued request owns a distinct environment's flight (joiners
+	// never enqueue), so no intra-batch dedup is needed — only a
+	// second-chance cache check, since an entry may have landed between
+	// the caller's miss and this dispatch.
+	pending := batch[:0]
+	for _, r := range batch {
+		if res, ok := s.cache.peek(r.hash, r.vet); ok {
+			r.done <- response{res: res}
+			s.completeFlight(r.hash, r.env, res, nil)
+			continue
+		}
+		pending = append(pending, r)
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	vets := make([]encoding.VET, len(pending))
+	for i, r := range pending {
+		vets[i] = r.vet
+	}
+	results, err := s.evaluate(vets)
+	if err != nil {
+		for _, r := range pending {
+			r.done <- response{err: err}
+			s.completeFlight(r.hash, r.env, Result{}, err)
+		}
+		return
+	}
+	for i, r := range pending {
+		s.cache.Put(r.hash, r.env, results[i])
+		r.done <- response{res: results[i]}
+		s.completeFlight(r.hash, r.env, results[i], nil)
+	}
+
+	s.batches.Add(1)
+	s.batchedSystems.Add(int64(len(pending)))
+	if w := int64(len(pending)); w > s.maxBatchWidth.Load() {
+		s.maxBatchWidth.Store(w)
+	}
+}
+
+// evaluate runs the backend, converting a corruption tripwire panic into
+// an error so a poisoned batch fails its submitters instead of killing
+// the worker pool.
+func (s *Server) evaluate(vets []encoding.VET) (results []Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if ce, ok := p.(*fault.CorruptionError); ok {
+				err = ce
+				return
+			}
+			panic(p)
+		}
+	}()
+	results = s.be.EvaluateBatch(vets)
+	if len(results) != len(vets) {
+		return nil, fmt.Errorf("evalserve: backend returned %d results for %d systems", len(results), len(vets))
+	}
+	return results, nil
+}

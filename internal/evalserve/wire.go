@@ -1,0 +1,432 @@
+package evalserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
+)
+
+// Wire protocol of the tkmc-serve front-end.
+//
+// Every frame is a little-endian uint32 payload length followed by the
+// payload; payload byte 0 is the opcode. A session starts with a hello
+// carrying the client's lattice constant and cutoff — the server verifies
+// they reproduce its own tables (same geometry ⇒ same NAll ⇒ same VET
+// layout) and answers with NAll, after which the client streams eval
+// frames (one canonical environment each) and receives result frames
+// with the exact f64 energies. Frames larger than the session bound
+// (derived from NAll) are rejected and the connection dropped, so one
+// misbehaving client cannot grow server memory.
+const (
+	opHello   = 0x01 // client → server: f64 a, f64 rcut
+	opEval    = 0x02 // client → server: NAll species bytes
+	opStats   = 0x03 // client → server: empty
+	opHelloOK = 0x81 // server → client: u32 NAll
+	opResult  = 0x82 // server → client: f64 initial, 8×f64 final, u8 valid mask
+	opStatsOK = 0x83 // server → client: JSON Stats
+	opError   = 0x7f // server → client: u8 kind, message bytes
+)
+
+// opError kinds.
+const (
+	errGeneric    = 0x00
+	errCorruption = 0x01 // evaluation tripped a corruption tripwire
+)
+
+// minFrame bounds every pre-hello frame; after hello the bound grows to
+// fit eval frames (1 + NAll bytes).
+const minFrame = 64
+
+// maxStatsFrame bounds the stats JSON a client will accept.
+const maxStatsFrame = 1 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, refusing payloads beyond limit — the
+// bounded-memory guarantee of the session.
+func readFrame(r io.Reader, limit int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, errors.New("evalserve: empty frame")
+	}
+	if int(n) > limit {
+		return nil, fmt.Errorf("evalserve: frame of %d bytes exceeds limit %d", n, limit)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func errorFrame(kind byte, msg string) []byte {
+	p := make([]byte, 2+len(msg))
+	p[0] = opError
+	p[1] = kind
+	copy(p[2:], msg)
+	return p
+}
+
+func resultFrame(res Result) []byte {
+	p := make([]byte, 1+8+8*8+1)
+	p[0] = opResult
+	binary.LittleEndian.PutUint64(p[1:], math.Float64bits(res.Initial))
+	for k := 0; k < 8; k++ {
+		binary.LittleEndian.PutUint64(p[9+8*k:], math.Float64bits(res.Final[k]))
+	}
+	var mask byte
+	for k := 0; k < 8; k++ {
+		if res.Valid[k] {
+			mask |= 1 << k
+		}
+	}
+	p[73] = mask
+	return p
+}
+
+func decodeResult(p []byte) (Result, error) {
+	if len(p) != 74 || p[0] != opResult {
+		return Result{}, fmt.Errorf("evalserve: malformed result frame (%d bytes)", len(p))
+	}
+	var res Result
+	res.Initial = math.Float64frombits(binary.LittleEndian.Uint64(p[1:]))
+	for k := 0; k < 8; k++ {
+		res.Final[k] = math.Float64frombits(binary.LittleEndian.Uint64(p[9+8*k:]))
+		res.Valid[k] = p[73]&(1<<k) != 0
+	}
+	return res, nil
+}
+
+// --- Server side --------------------------------------------------------
+
+// Frontend exposes a Server over TCP (or any net.Listener). Each accepted
+// connection is one independent client session; the shared Server behind
+// it is what makes cross-client deduplication and batching happen.
+type Frontend struct {
+	srv *Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts accepting wire-protocol sessions on the listener, serving
+// them from srv. It returns immediately; Close shuts the front-end down.
+// The Frontend does not own srv — closing the Frontend leaves the Server
+// (and its in-process callers) running.
+func Serve(srv *Server, ln net.Listener) *Frontend {
+	f := &Frontend{srv: srv, ln: ln, conns: map[net.Conn]struct{}{}}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f
+}
+
+// Addr returns the bound listener address (useful with ":0" listeners).
+func (f *Frontend) Addr() net.Addr { return f.ln.Addr() }
+
+func (f *Frontend) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f.conns[conn] = struct{}{}
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.handle(conn)
+			f.mu.Lock()
+			delete(f.conns, conn)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, drops every live session, and waits for the
+// handlers to return. The underlying Server is left running.
+func (f *Frontend) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	conns := make([]net.Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	err := f.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	f.wg.Wait()
+	return err
+}
+
+// handle runs one client session to completion.
+func (f *Frontend) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	tb := f.srv.Tables()
+
+	fail := func(kind byte, msg string) {
+		writeFrame(w, errorFrame(kind, msg))
+		w.Flush()
+	}
+
+	// The session opens with a hello declaring the client's geometry.
+	p, err := readFrame(r, minFrame)
+	if err != nil {
+		return
+	}
+	if len(p) != 17 || p[0] != opHello {
+		fail(errGeneric, "expected hello frame")
+		return
+	}
+	a := math.Float64frombits(binary.LittleEndian.Uint64(p[1:]))
+	rcut := math.Float64frombits(binary.LittleEndian.Uint64(p[9:]))
+	if a != tb.A || rcut != tb.Rcut {
+		fail(errGeneric, fmt.Sprintf("geometry mismatch: server has a=%v rcut=%v, client sent a=%v rcut=%v", tb.A, tb.Rcut, a, rcut))
+		return
+	}
+	ok := make([]byte, 5)
+	ok[0] = opHelloOK
+	binary.LittleEndian.PutUint32(ok[1:], uint32(tb.NAll))
+	if err := writeFrame(w, ok); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	// Post-hello frames are bounded by the eval frame size.
+	limit := 1 + tb.NAll
+	if limit < minFrame {
+		limit = minFrame
+	}
+	for {
+		p, err := readFrame(r, limit)
+		if err != nil {
+			return // disconnect or oversized frame
+		}
+		switch p[0] {
+		case opEval:
+			if len(p) != 1+tb.NAll {
+				fail(errGeneric, fmt.Sprintf("eval frame carries %d species, want %d", len(p)-1, tb.NAll))
+				return
+			}
+			res, err := f.srv.Evaluate(tb.DecodeEnv(p[1:]))
+			if err != nil {
+				kind := byte(errGeneric)
+				var ce *fault.CorruptionError
+				if errors.As(err, &ce) {
+					kind = errCorruption
+				}
+				fail(kind, err.Error())
+				if kind == errGeneric {
+					return // server closed or malformed: end the session
+				}
+				continue // corruption: report, let the client decide
+			}
+			if err := writeFrame(w, resultFrame(res)); err != nil {
+				return
+			}
+		case opStats:
+			js, err := json.Marshal(f.srv.Stats())
+			if err != nil {
+				fail(errGeneric, err.Error())
+				return
+			}
+			out := make([]byte, 1+len(js))
+			out[0] = opStatsOK
+			copy(out[1:], js)
+			if err := writeFrame(w, out); err != nil {
+				return
+			}
+		default:
+			fail(errGeneric, fmt.Sprintf("unknown opcode %#x", p[0]))
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// --- Client side --------------------------------------------------------
+
+// Client is a wire-protocol connection to a tkmc-serve front-end. It
+// implements kmc.Model, so an engine can be pointed at a remote
+// evaluation service exactly as it would at an in-process potential. One
+// Client serializes its requests (the session is a simple request/reply
+// stream); open several Clients for concurrency — the server coalesces
+// and deduplicates across all of them.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	tb   *encoding.Tables
+}
+
+// Dial connects to a front-end and performs the hello handshake for the
+// given lattice geometry. The returned Client's Tables are constructed
+// locally — the handshake guarantees they match the server's.
+func Dial(addr string, a, rcut float64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+		tb:   encoding.New(a, rcut),
+	}
+	hello := make([]byte, 17)
+	hello[0] = opHello
+	binary.LittleEndian.PutUint64(hello[1:], math.Float64bits(a))
+	binary.LittleEndian.PutUint64(hello[9:], math.Float64bits(rcut))
+	if err := writeFrame(c.w, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p, err := readFrame(c.r, maxStatsFrame)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if p[0] == opError {
+		conn.Close()
+		return nil, fmt.Errorf("evalserve: server refused hello: %s", p[2:])
+	}
+	if len(p) != 5 || p[0] != opHelloOK {
+		conn.Close()
+		return nil, errors.New("evalserve: malformed hello reply")
+	}
+	if n := int(binary.LittleEndian.Uint32(p[1:])); n != c.tb.NAll {
+		conn.Close()
+		return nil, fmt.Errorf("evalserve: server NAll %d != local %d", n, c.tb.NAll)
+	}
+	return c, nil
+}
+
+// Tables returns the locally reconstructed encoding tables (kmc.Model).
+func (c *Client) Tables() *encoding.Tables { return c.tb }
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Evaluate submits one vacancy system and returns the exact f64 result.
+func (c *Client) Evaluate(vet encoding.VET) (Result, error) {
+	if len(vet) != c.tb.NAll {
+		return Result{}, fmt.Errorf("evalserve: VET length %d, want %d", len(vet), c.tb.NAll)
+	}
+	req := make([]byte, 1+c.tb.NAll)
+	req[0] = opEval
+	copy(req[1:], c.tb.EncodeEnv(vet))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, req); err != nil {
+		return Result{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Result{}, err
+	}
+	p, err := readFrame(c.r, maxStatsFrame)
+	if err != nil {
+		return Result{}, err
+	}
+	if p[0] == opError {
+		if len(p) >= 2 && p[1] == errCorruption {
+			return Result{}, &fault.CorruptionError{Subsystem: "evalserve", Detail: string(p[2:])}
+		}
+		return Result{}, fmt.Errorf("evalserve: server error: %s", p[2:])
+	}
+	return decodeResult(p)
+}
+
+// HopEnergies implements kmc.Model over the wire. Corruption reported by
+// the server re-panics as *fault.CorruptionError, preserving engine-layer
+// recovery; transport failures panic plainly (an engine cannot continue
+// without its potential).
+func (c *Client) HopEnergies(vet encoding.VET) (initial float64, final [8]float64, valid [8]bool) {
+	res, err := c.Evaluate(vet)
+	if err != nil {
+		var ce *fault.CorruptionError
+		if errors.As(err, &ce) {
+			panic(ce)
+		}
+		panic(err)
+	}
+	return res.Initial, res.Final, res.Valid
+}
+
+// ServerStats fetches the service counters over the wire.
+func (c *Client) ServerStats() (Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, []byte{opStats}); err != nil {
+		return Stats{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Stats{}, err
+	}
+	p, err := readFrame(c.r, maxStatsFrame)
+	if err != nil {
+		return Stats{}, err
+	}
+	if p[0] == opError {
+		return Stats{}, fmt.Errorf("evalserve: server error: %s", p[2:])
+	}
+	if p[0] != opStatsOK {
+		return Stats{}, errors.New("evalserve: malformed stats reply")
+	}
+	var st Stats
+	if err := json.Unmarshal(p[1:], &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,208 @@
+package evalserve
+
+import (
+	"encoding/binary"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/units"
+)
+
+// startFrontend boots a Server plus TCP front-end on a loopback port.
+func startFrontend(t *testing.T, opts Options, seed uint64) (*Frontend, *nnp.Potential) {
+	t.Helper()
+	pot, tb := smallPotential(seed)
+	srv := New(NewFusionBackend(pot, tb, F64), opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := Serve(srv, ln)
+	t.Cleanup(func() {
+		fe.Close()
+		srv.Close()
+	})
+	return fe, pot
+}
+
+// TestWireRoundTrip: energies served over TCP must be bit-identical to
+// direct evaluation, and the handshake must reconstruct matching tables.
+func TestWireRoundTrip(t *testing.T) {
+	fe, pot := startFrontend(t, Options{Capacity: 128}, 20)
+	cl, err := Dial(fe.Addr().String(), units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tb := cl.Tables()
+	direct := nnp.NewLatticeEvaluator(pot, tb)
+	vets := sampleVETs(t, tb, 6, 21)
+	for pass := 0; pass < 2; pass++ {
+		for i, vet := range vets {
+			gi, gf, gv := cl.HopEnergies(vet)
+			wi, wf, wv := direct.HopEnergies(vet)
+			if gi != wi || gf != wf || gv != wv {
+				t.Fatalf("pass %d system %d: wire (%v) != direct (%v)", pass, i, gi, wi)
+			}
+		}
+	}
+	st, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("wire stats did not round-trip: %+v", st)
+	}
+}
+
+// TestWireConcurrentClients is the acceptance check: ≥8 concurrent TCP
+// clients against one front-end, every reply bit-identical, served under
+// the configured queue bound.
+func TestWireConcurrentClients(t *testing.T) {
+	fe, pot := startFrontend(t, Options{Capacity: 256, MaxBatch: 8, Workers: 2, QueueDepth: 16}, 22)
+
+	// One handshake builds the shared tables; the workload is a small
+	// environment set so the clients overlap heavily.
+	probe, err := Dial(fe.Addr().String(), units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	tb := probe.Tables()
+	direct := nnp.NewLatticeEvaluator(pot, tb)
+	vets := sampleVETs(t, tb, 10, 23)
+	want := make([]Result, len(vets))
+	for i, vet := range vets {
+		want[i].Initial, want[i].Final, want[i].Valid = direct.HopEnergies(vet)
+	}
+
+	const clients = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(fe.Addr().String(), units.LatticeConstantFe, units.CutoffShort)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for r := 0; r < rounds; r++ {
+				i := (c + r) % len(vets)
+				res, err := cl.Evaluate(vets[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res != want[i] {
+					errs <- errWireMismatch
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := probe.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Hits + st.Misses; got != clients*rounds {
+		t.Fatalf("lookup count %d, want %d", got, clients*rounds)
+	}
+	if st.QueueHighWater > 16 {
+		t.Fatalf("queue high-water %d exceeds bound 16", st.QueueHighWater)
+	}
+	if st.BatchedSystems > int64(len(vets)) {
+		t.Fatalf("%d evaluations for %d distinct environments", st.BatchedSystems, len(vets))
+	}
+}
+
+var errWireMismatch = &wireMismatchError{}
+
+type wireMismatchError struct{}
+
+func (*wireMismatchError) Error() string { return "wire energies diverged from direct evaluation" }
+
+// TestWireRejectsGeometryMismatch: a hello with the wrong lattice constant
+// must be refused during the handshake.
+func TestWireRejectsGeometryMismatch(t *testing.T) {
+	fe, _ := startFrontend(t, Options{}, 24)
+	if _, err := Dial(fe.Addr().String(), units.LatticeConstantFe*1.01, units.CutoffShort); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	} else if !strings.Contains(err.Error(), "geometry mismatch") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+}
+
+// TestWireRejectsOversizedFrame: a frame beyond the session bound must
+// drop the connection instead of allocating — the bounded-memory check.
+func TestWireRejectsOversizedFrame(t *testing.T) {
+	fe, _ := startFrontend(t, Options{}, 25)
+	conn, err := net.Dial("tcp", fe.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30) // claim a 1 GiB frame
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		// The server may write nothing before closing; any read success
+		// here means it kept the session alive, which it must not.
+		t.Fatal("server kept an oversized-frame session open")
+	}
+}
+
+// TestWireRejectsEvalBeforeHello: the protocol requires the handshake
+// before any evaluation.
+func TestWireRejectsEvalBeforeHello(t *testing.T) {
+	fe, _ := startFrontend(t, Options{}, 26)
+	conn, err := net.Dial("tcp", fe.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A well-formed stats request, sent before hello.
+	if err := writeFrame(conn, []byte{opStats}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := readFrame(conn, maxStatsFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != opError {
+		t.Fatalf("pre-hello request answered with opcode %#x", p[0])
+	}
+}
+
+// TestWireFrameEncoding: result frames must round-trip exact bit
+// patterns, including negative zero and the valid mask.
+func TestWireFrameEncoding(t *testing.T) {
+	res := Result{Initial: math.Copysign(0, -1)}
+	res.Final[0] = 1.0 / 3.0
+	res.Final[7] = -2.5e-17
+	res.Valid[0], res.Valid[7] = true, true
+	got, err := decodeResult(resultFrame(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Initial) != math.Float64bits(res.Initial) || got.Final != res.Final || got.Valid != res.Valid {
+		t.Fatalf("result frame round-trip: %+v != %+v", got, res)
+	}
+}

@@ -351,10 +351,3 @@ func RunBigFusionF32(net *nnp.Network, x nnp.Matrix, arch sw.Arch) Result {
 	}
 	return res
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -32,8 +32,8 @@ audit_every  5
 exchange_timeout 30
 `)
 	f.Add("restart prev.box\nduration 1e-8\npotential nnp weights.nnp\n")
-	f.Add("cells 1 1 1\nduration 0\n")               // rejected: non-positive duration
-	f.Add("duration 1e-8\n")                         // rejected: no cells/restart
+	f.Add("cells 1 1 1\nduration 0\n")                // rejected: non-positive duration
+	f.Add("duration 1e-8\n")                          // rejected: no cells/restart
 	f.Add("cells 10 10 10\nduration 1e-8\nseed -1\n") // rejected: negative seed
 	f.Add("checkpoint_every 1\nduration 1\ncells 1 1 1\n")
 	f.Add("max_retries -2\ncells 1 1 1\nduration 1\n")

@@ -20,6 +20,7 @@
 //	max_retries  3
 //	audit_every  5
 //	exchange_timeout 30
+//	eval_cache   32768   # opt-in shared evaluation service (entries)
 package input
 
 import (
@@ -208,6 +209,26 @@ func (d *Deck) apply(key string, args []string) error {
 			return fmt.Errorf("exchange_timeout wants a positive wall-clock interval in seconds")
 		}
 		d.Config.ExchangeTimeout = time.Duration(secs * float64(time.Second))
+	case "eval_cache":
+		return nonNegInt(args, &d.Config.EvalCache)
+	case "eval_shards":
+		return nonNegInt(args, &d.Config.EvalShards)
+	case "eval_batch":
+		return nonNegInt(args, &d.Config.EvalBatch)
+	case "eval_workers":
+		return nonNegInt(args, &d.Config.EvalWorkers)
+	case "eval_f32":
+		if len(args) != 1 {
+			return fmt.Errorf("eval_f32 wants 'on' or 'off'")
+		}
+		switch strings.ToLower(args[0]) {
+		case "on", "true", "1":
+			d.Config.EvalF32 = true
+		case "off", "false", "0":
+			d.Config.EvalF32 = false
+		default:
+			return fmt.Errorf("invalid eval_f32 %q", args[0])
+		}
 	case "restart":
 		if len(args) != 1 {
 			return fmt.Errorf("restart wants a path")
@@ -274,6 +295,18 @@ func ints(args []string, n int) ([]int, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+func nonNegInt(args []string, dst *int) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want one integer, got %d", len(args))
+	}
+	v, err := strconv.Atoi(args[0])
+	if err != nil || v < 0 {
+		return fmt.Errorf("invalid value %q", args[0])
+	}
+	*dst = v
+	return nil
 }
 
 func float1(args []string, dst *float64) error {

@@ -50,6 +50,12 @@ func NewPotential(desc *feature.Descriptor, sizes []int, r *rng.Stream) *Potenti
 	return p
 }
 
+// NormalizeInto writes the normalised feature vector into dst — the
+// exact channel-wise transform the evaluator applies before the network,
+// exported so external batchers (internal/evalserve) reproduce it
+// bit-identically.
+func (p *Potential) NormalizeInto(dst, raw []float64) { p.normalizeInto(dst, raw) }
+
 // normalizeInto writes the normalised feature vector into dst.
 func (p *Potential) normalizeInto(dst, raw []float64) {
 	if p.FeatMean == nil {

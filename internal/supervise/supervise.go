@@ -304,11 +304,16 @@ func (s *Supervisor) restoreFrom(ck *core.Checkpoint) error {
 	}
 	s.rec.Audits++
 	if err := audit.Check(sim.Box(), sim.Time(), s.base); err != nil {
+		sim.Close()
 		return err
 	}
 	if err := audit.Propensities(sim.Box(), sim.Model(), sim.Cfg.Temperature); err != nil {
+		sim.Close()
 		return err
 	}
+	// The rejected simulation's background resources (the evaluation
+	// service's worker pool, when configured) die with it.
+	s.sim.Close()
 	s.sim = sim
 	return nil
 }

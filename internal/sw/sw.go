@@ -164,13 +164,6 @@ func (c Counters) Time(a Arch, overlap bool) float64 {
 	return t
 }
 
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // LDM is one CPE's software-managed scratchpad. Allocations must fit;
 // exceeding capacity is a programming error on real hardware (the kernel
 // simply cannot be compiled/run), so it panics here.
