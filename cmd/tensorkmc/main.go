@@ -37,6 +37,7 @@ import (
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/supervise"
+	"tensorkmc/internal/telemetry"
 )
 
 // Exit codes (see the package comment).
@@ -84,6 +85,33 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 		fmt.Fprintln(stderr, "tensorkmc:", err)
 		return exitUsage
 	}
+
+	// Telemetry is always collected (it is cheap — atomic counters and
+	// span accumulation) so the end-of-run breakdown table is available
+	// on every run; the HTTP endpoint and the event-log file stay
+	// opt-in via their deck keys.
+	set := telemetry.NewSet()
+	cfg.Telemetry = set
+	if deck.EventLog != "" {
+		// Deferred before anything can fail or panic: the flight
+		// recorder must land on disk on every exit path, crashes
+		// included (deferred functions run while panicking).
+		defer func() {
+			if err := set.Events().FlushFile(deck.EventLog); err != nil {
+				fmt.Fprintln(stderr, "tensorkmc: writing event log:", err)
+			}
+		}()
+	}
+	if deck.TelemetryAddr != "" {
+		srv, err := telemetry.Serve(deck.TelemetryAddr, set)
+		if err != nil {
+			fmt.Fprintln(stderr, "tensorkmc:", err)
+			return exitUsage
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "tensorkmc: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+
 	sup, err := supervise.New(cfg, supervise.Config{
 		MaxRetries: deck.MaxRetries,
 		AuditEvery: deck.AuditEvery,
@@ -106,6 +134,17 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 	// exit so the evaluation service's workers drain.
 	defer func() { sup.Simulation().Close() }()
 
+	code := simulate(deck, cfg, sup, quiet, stdout, stderr, sig)
+	summarize(set, sup, stdout)
+	return code
+}
+
+// simulate drives the supervised run: the banner, the snapshot loop,
+// dump files and the graceful signal path. It deliberately does not
+// print the telemetry summary — run() emits that after simulate
+// returns, so every exit code (clean, runtime failure, recovered,
+// interrupted) carries the same end-of-run account.
+func simulate(deck *input.Deck, cfg core.Config, sup *supervise.Supervisor, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	sim := sup.Simulation()
 	fe, cu, vac := sim.Box().Count()
 	fmt.Fprintf(stdout, "tensorkmc: %dx%dx%d cells (%d sites): %d Fe, %d Cu, %d vacancies\n",
@@ -136,9 +175,6 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 		rep, err := sup.Run(segment)
 		if err != nil {
 			fmt.Fprintln(stderr, "tensorkmc:", err)
-			if s := rep.Recovery.Summary(); s != "" {
-				fmt.Fprintln(stderr, "tensorkmc:", s)
-			}
 			return exitRuntime
 		}
 		sim = sup.Simulation() // recovery may have rebuilt it
@@ -163,17 +199,26 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 	fmt.Fprintf(stdout, "tensorkmc: done: %d hops in %.2f s wall (%.0f hops/s)\n",
 		sim.Hops(), time.Since(start).Seconds(),
 		float64(sim.Hops())/time.Since(start).Seconds())
-	if st, ok := sim.EvalStats(); ok {
-		fmt.Fprintln(stdout, "tensorkmc:", st.String())
-	}
-	rec := sup.Recovery()
-	if s := rec.Summary(); s != "" {
-		fmt.Fprintln(stdout, "tensorkmc:", s)
-	}
-	if rec.Recovered() {
+	if sup.Recovery().Recovered() {
 		return exitRecovered
 	}
 	return exitClean
+}
+
+// summarize prints the end-of-run account — the per-phase timing
+// breakdown, the evaluation-service counters and the recovery summary.
+// run() calls it on every exit path, so a failed or interrupted run
+// reports where its time went just like a clean one.
+func summarize(set *telemetry.Set, sup *supervise.Supervisor, stdout io.Writer) {
+	fmt.Fprintln(stdout, "tensorkmc: per-phase timing:")
+	_ = set.Trace().WriteTable(stdout)
+	sim := sup.Simulation()
+	if st, ok := sim.EvalStats(); ok {
+		fmt.Fprintln(stdout, "tensorkmc:", st.String())
+	}
+	if s := sup.Recovery().Summary(); s != "" {
+		fmt.Fprintln(stdout, "tensorkmc:", s)
+	}
 }
 
 // interrupted polls the signal channel without blocking.
@@ -200,9 +245,6 @@ func shutdown(sup *supervise.Supervisor, deck *input.Deck, stdout, stderr io.Wri
 			sim.Time(), deck.CheckpointFile)
 	} else {
 		fmt.Fprintf(stdout, "tensorkmc: interrupted at t=%.4g s (no checkpoint configured)\n", sim.Time())
-	}
-	if s := sup.Recovery().Summary(); s != "" {
-		fmt.Fprintln(stdout, "tensorkmc:", s)
 	}
 	return exitInterrupted
 }

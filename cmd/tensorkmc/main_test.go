@@ -161,3 +161,99 @@ checkpoint   `+ckpt+`
 		t.Fatalf("no final checkpoint after interrupt: %v", err)
 	}
 }
+
+// TestTelemetryDeckRun: the telemetry_addr and event_log deck keys —
+// the endpoint banner prints, the per-phase timing table renders on a
+// clean exit, and the flight recorder lands on disk as JSONL.
+func TestTelemetryDeckRun(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	deckPath := writeDeck(t, dir, `
+cells          8 8 8
+cu             0.05
+vacancy        0.002
+duration       2e-8
+seed           13
+potential      eam
+eval_cache     1024
+telemetry_addr 127.0.0.1:0
+event_log      `+events+`
+`)
+	var out bytes.Buffer
+	if code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, nil); code != exitClean {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"telemetry on http://127.0.0.1:",
+		"per-phase timing:",
+		"run",
+		"segment",
+		"evalserve:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if _, err := os.Stat(events); err != nil {
+		t.Fatalf("event log not written: %v", err)
+	}
+}
+
+// TestSummaryOnRuntimeFailure: the per-phase table must print on exit 1
+// too — a failed run still reports where its time went.
+func TestSummaryOnRuntimeFailure(t *testing.T) {
+	dir := t.TempDir()
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{desc.Dim(), 8, 1}, rng.New(9))
+	pot.Nets[0].Layers[0].W.Data[0] = math.NaN()
+	potPath := filepath.Join(dir, "bad.nnp")
+	if err := pot.SaveFile(potPath); err != nil {
+		t.Fatal(err)
+	}
+	events := filepath.Join(dir, "events.jsonl")
+	deckPath := writeDeck(t, dir, `
+cells        10 10 10
+cu           0.05
+vacancy      0.002
+duration     1e-8
+seed         7
+potential    nnp `+potPath+`
+event_log    `+events+`
+`)
+	var out bytes.Buffer
+	if code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, nil); code != exitRuntime {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "per-phase timing:") {
+		t.Fatalf("no timing table on runtime failure:\n%s", out.String())
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("event log not written on failure: %v", err)
+	}
+	if !strings.Contains(string(data), "segment-failure") {
+		t.Fatalf("flight recorder missing the failure event:\n%s", data)
+	}
+}
+
+// TestSummaryOnInterrupt: exit 4 carries the same end-of-run account.
+func TestSummaryOnInterrupt(t *testing.T) {
+	deckPath := writeDeck(t, t.TempDir(), `
+cells        8 8 8
+cu           0.05
+vacancy      0.002
+duration     1e-7
+seed         11
+snapshots    4
+potential    eam
+`)
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+	var out bytes.Buffer
+	if code := realMain([]string{"-in", deckPath, "-quiet"}, &out, &out, sig); code != exitInterrupted {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "per-phase timing:") {
+		t.Fatalf("no timing table on interrupt:\n%s", out.String())
+	}
+}

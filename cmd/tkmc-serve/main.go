@@ -11,6 +11,11 @@
 //	tkmc-serve [-addr host:port] [-potential eam|bondcount|<nnp-file>]
 //	           [-lattice Å] [-cutoff Å]
 //	           [-cache N] [-shards N] [-batch N] [-workers N] [-f32]
+//	           [-telemetry host:port]
+//
+// -telemetry opens the shared observability endpoint (/metrics,
+// /healthz, /events, /debug/pprof — the same mux the tensorkmc runner
+// serves) so a long-lived service is scrapable and profilable.
 //
 // The server prints its bound address on startup (use -addr 127.0.0.1:0
 // to let the kernel pick a port) and, on SIGINT/SIGTERM, drains the
@@ -38,6 +43,7 @@ import (
 	"tensorkmc/internal/evalserve"
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/telemetry"
 	"tensorkmc/internal/units"
 )
 
@@ -68,18 +74,36 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	batch := fs.Int("batch", 0, "max systems per fused batch (0 = default)")
 	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = default)")
 	f32 := fs.Bool("f32", false, "run fused NNP batches in f32 (not bit-identical to f64)")
+	teleAddr := fs.String("telemetry", "", "telemetry HTTP address (/metrics, /healthz, /events, pprof); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 
+	var set *telemetry.Set
+	if *teleAddr != "" {
+		set = telemetry.NewSet()
+	}
 	tb := encoding.New(*latticeA, *cutoff)
 	opts := evalserve.Options{
 		Capacity: *cache, Shards: *shards, MaxBatch: *batch, Workers: *workers,
+		Telemetry: set,
 	}.WithDefaults()
 	be, err := buildBackend(*potName, tb, opts, *f32)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkmc-serve:", err)
 		return exitUsage
+	}
+	if fb, ok := be.(*evalserve.FusionBackend); ok {
+		fb.SetTelemetry(set)
+	}
+	if set != nil {
+		tsrv, err := telemetry.Serve(*teleAddr, set)
+		if err != nil {
+			fmt.Fprintln(stderr, "tkmc-serve:", err)
+			return exitRuntime
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(stdout, "tkmc-serve: telemetry on http://%s/metrics\n", tsrv.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

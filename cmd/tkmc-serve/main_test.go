@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -164,5 +165,90 @@ func TestServeUsageErrors(t *testing.T) {
 		if code := realMain(args, io.Discard, io.Discard, nil); code != exitUsage {
 			t.Errorf("%s: exit code %d, want %d", name, code, exitUsage)
 		}
+	}
+}
+
+// waitForTelemetryAddr polls the startup banner for the telemetry
+// endpoint address.
+func waitForTelemetryAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if i := strings.Index(line, "telemetry on http://"); i >= 0 {
+				return strings.TrimSuffix(line[i+len("telemetry on http://"):], "/metrics")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its telemetry address; output so far:\n%s", out.String())
+	return ""
+}
+
+// TestServeTelemetryEndpoint boots the command with -telemetry and
+// scrapes /metrics and /healthz while it serves live traffic: the
+// long-lived service must be observable without restarting it.
+func TestServeTelemetryEndpoint(t *testing.T) {
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0", "-cutoff", "5.8", "-cache", "64",
+			"-telemetry", "127.0.0.1:0",
+		}, out, io.Discard, sig)
+	}()
+	addr := waitForAddr(t, out)
+	teleAddr := waitForTelemetryAddr(t, out)
+
+	cl, err := evalserve.Dial(addr, units.LatticeConstantFe, 5.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, vet := range sampleVETs(cl.Tables(), 4, 17) {
+		if _, err := cl.Evaluate(vet); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + teleAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+	if body := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+	metrics := get("/metrics")
+	for _, fam := range []string{
+		"tkmc_eval_cache_hits_total",
+		"tkmc_eval_cache_misses_total",
+		"tkmc_eval_batches_total",
+	} {
+		if !strings.Contains(metrics, "# TYPE "+fam+" counter") {
+			t.Errorf("/metrics missing family %s:\n%s", fam, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "tkmc_eval_cache_misses_total 4") {
+		t.Errorf("expected 4 recorded misses in /metrics:\n%s", metrics)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != exitClean {
+			t.Fatalf("exit code %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on signal")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"tensorkmc/internal/nnp"
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/sublattice"
+	"tensorkmc/internal/telemetry"
 	"tensorkmc/internal/units"
 )
 
@@ -113,6 +114,16 @@ type Config struct {
 	// Chaos, if non-nil, is a fault interposer for the parallel
 	// message fabric (testing only).
 	Chaos *mpi.Chaos
+
+	// Telemetry, if non-nil, instruments the whole stack: the engines
+	// bump tkmc_step_total and decompose the hot path into phase spans,
+	// the evaluation service exports its cache/batch counters, the
+	// message fabric counts per-rank traffic, and run/segment/checkpoint
+	// /analyze timings land in the span tree. Telemetry only reads the
+	// wall clock and bumps atomic counters — it never touches RNG
+	// streams or simulation state — so trajectories and checkpoints are
+	// bit-identical with it on or off.
+	Telemetry *telemetry.Set
 }
 
 func (c *Config) applyDefaults() {
@@ -150,6 +161,11 @@ type Simulation struct {
 	time    float64           // parallel-path clock
 	hops    int64             // parallel-path hop counter
 	segment uint64            // parallel-path run counter (fresh seeds per segment)
+
+	// Telemetry phase handles, nil when telemetry is off. Pre-resolved
+	// in New so every metric family is visible in /metrics (at zero)
+	// before the first hop runs.
+	runPh, segPh, ckptPh, analyzePh *telemetry.Phase
 }
 
 // New builds a simulation: allocates and fills the box, constructs the
@@ -183,6 +199,19 @@ func New(cfg Config) (*Simulation, error) {
 	}
 
 	s := &Simulation{Cfg: cfg}
+	if set := cfg.Telemetry; set != nil {
+		s.runPh = set.Trace().Phase(telemetry.PhaseRun)
+		s.segPh = s.runPh.Child(telemetry.PhaseSegment)
+		s.ckptPh = s.runPh.Child(telemetry.PhaseCheckpoint)
+		s.analyzePh = s.runPh.Child(telemetry.PhaseAnalyze)
+		// Register the step counter eagerly so the family is scrapable
+		// (at zero) before the first hop — parallel ranks only create
+		// their handles once a sweep starts.
+		set.Reg().Counter(telemetry.MetricStepTotal,
+			"Executed KMC hops (serial engine steps plus parallel rank hops).")
+		cfg.Options.Telemetry = set
+		s.Cfg.Options.Telemetry = set
+	}
 	s.Tables = encoding.New(cfg.LatticeConstant, cfg.Cutoff)
 	if cfg.InitialBox != nil {
 		s.box = cfg.InitialBox.Clone()
@@ -205,10 +234,11 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if cfg.EvalCache > 0 {
 		opts := evalserve.Options{
-			Capacity: cfg.EvalCache,
-			Shards:   cfg.EvalShards,
-			MaxBatch: cfg.EvalBatch,
-			Workers:  cfg.EvalWorkers,
+			Capacity:  cfg.EvalCache,
+			Shards:    cfg.EvalShards,
+			MaxBatch:  cfg.EvalBatch,
+			Workers:   cfg.EvalWorkers,
+			Telemetry: cfg.Telemetry,
 		}
 		opts = opts.WithDefaults()
 		var be evalserve.Backend
@@ -217,7 +247,9 @@ func New(cfg Config) (*Simulation, error) {
 			if cfg.EvalF32 {
 				prec = evalserve.F32
 			}
-			be = evalserve.NewFusionBackend(cfg.Net, s.Tables, prec)
+			fb := evalserve.NewFusionBackend(cfg.Net, s.Tables, prec)
+			fb.SetTelemetry(cfg.Telemetry)
+			be = fb
 		} else {
 			be = evalserve.NewModelBackend(s.mkMod, opts.Workers)
 		}
@@ -351,6 +383,8 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 	if duration < 0 {
 		return Report{}, fmt.Errorf("core: negative duration")
 	}
+	runSW := s.runPh.Start()
+	defer runSW.Stop()
 	if s.Cfg.CheckpointPath != "" {
 		// Slice the run into checkpoint intervals, persisting crash-safe
 		// state after each. The slicing itself is part of the trajectory
@@ -366,7 +400,10 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 			if err := s.runChunk(chunk, observer); err != nil {
 				return Report{}, err
 			}
-			if err := s.SaveCheckpoint(s.Cfg.CheckpointPath); err != nil {
+			ckptSW := s.ckptPh.Start()
+			err := s.SaveCheckpoint(s.Cfg.CheckpointPath)
+			ckptSW.Stop()
+			if err != nil {
 				return Report{}, fmt.Errorf("core: writing checkpoint: %w", err)
 			}
 			remaining -= chunk
@@ -383,12 +420,14 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 	return Report{
 		Duration: duration,
 		Hops:     s.Hops(),
-		Analysis: cluster.Analyze(s.box, 2),
+		Analysis: s.Analyze(),
 	}, nil
 }
 
 // runChunk advances the simulation by one uninterrupted interval.
 func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (err error) {
+	segSW := s.segPh.Start()
+	defer segSW.Stop()
 	// The rate kernel's corruption tripwires (NaN/Inf propensities or
 	// energies) fire as typed panics; surface them as errors so callers
 	// — in particular the supervisor — see a non-retryable failure. The
@@ -428,6 +467,7 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 			Seed:            s.Cfg.Seed + seg,
 			ExchangeTimeout: s.Cfg.ExchangeTimeout,
 			Chaos:           s.Cfg.Chaos,
+			Telemetry:       s.Cfg.Telemetry,
 		}
 		res, err := sublattice.Run(s.box, cfg, duration, s.mkMod)
 		if err != nil {
@@ -444,7 +484,11 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 }
 
 // Analyze returns the current Cu cluster statistics (1NN+2NN adjacency).
-func (s *Simulation) Analyze() cluster.Analysis { return cluster.Analyze(s.box, 2) }
+func (s *Simulation) Analyze() cluster.Analysis {
+	sw := s.analyzePh.Start()
+	defer sw.Stop()
+	return cluster.Analyze(s.box, 2)
+}
 
 // IsolatedCu returns the Fig. 8 observable.
 func (s *Simulation) IsolatedCu() int { return cluster.IsolatedCu(s.box) }

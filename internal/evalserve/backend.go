@@ -13,6 +13,7 @@ import (
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/nnp"
 	"tensorkmc/internal/sw"
+	"tensorkmc/internal/telemetry"
 )
 
 // Result is one vacancy system's complete hop-energy evaluation: the
@@ -123,6 +124,8 @@ type FusionBackend struct {
 
 	mu    sync.Mutex
 	stats FusionStats
+
+	featurePh, fusionPh *telemetry.Phase // nil when telemetry is off
 }
 
 // NewFusionBackend binds a trained potential to tables and an (emulated)
@@ -139,6 +142,19 @@ func NewFusionBackend(pot *nnp.Potential, tb *encoding.Tables, prec Precision) *
 
 // Tables returns the encoding tables.
 func (fb *FusionBackend) Tables() *encoding.Tables { return fb.tb }
+
+// SetTelemetry times the two halves of every fused evaluation under
+// evalserve/batch — feature assembly (passes 1+2) and the fused kernel
+// launches — so the run summary shows where accelerator batches spend
+// their wall time. Call before the backend is shared across workers.
+func (fb *FusionBackend) SetTelemetry(set *telemetry.Set) {
+	if set == nil {
+		return
+	}
+	batch := set.Trace().PhaseAt(telemetry.PhaseEvalServe, telemetry.PhaseBatch)
+	fb.featurePh = batch.Child(telemetry.PhaseFeature)
+	fb.fusionPh = batch.Child(telemetry.PhaseFusion)
+}
 
 // Stats snapshots the accelerator counters.
 func (fb *FusionBackend) Stats() FusionStats {
@@ -170,6 +186,7 @@ func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
 		work[s] = append(encoding.VET(nil), vet...)
 	}
 
+	featSW := fb.featurePh.Start()
 	// Pass 1 — count rows per element so the fused matrices can be
 	// allocated exactly. State 0 is the initial state; state k+1 is hop k.
 	rowsPerElem := make([]int, lattice.NumElements)
@@ -207,7 +224,10 @@ func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
 		}
 	})
 
+	featSW.Stop()
+
 	// One fused kernel launch per element head.
+	fusionSW := fb.fusionPh.Start()
 	outs := make([]nnp.Matrix, lattice.NumElements)
 	var modeled float64
 	var totalRows int64
@@ -227,6 +247,7 @@ func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
 		modeled += res.Seconds
 		totalRows += int64(xs[e].Rows)
 	}
+	fusionSW.Stop()
 
 	// Scatter — per (system, state), sum per-element row outputs in the
 	// exact order of Potential.RegionEnergy: element-ascending, site

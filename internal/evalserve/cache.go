@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/telemetry"
 )
 
 // CacheStats is one shard's counter snapshot.
@@ -44,7 +45,15 @@ type cacheShard struct {
 	buckets map[uint64][]*entry
 	lru     *list.List // front = most recent; values are *entry
 	stats   CacheStats
+	journal *telemetry.Journal // nil when telemetry is off
 }
+
+// evictionSampleEvery rate-limits eviction flight-recorder events: cache
+// churn under a tight capacity can evict on every insert, and recording
+// each one would flush the interesting failure-path events out of the
+// bounded ring. One event per this many evictions per shard keeps the
+// churn visible without drowning the tail.
+const evictionSampleEvery = 256
 
 // Cache is the sharded, content-addressed vacancy-system cache: the
 // paper's vacancy cache (Sec. 3.2) generalized across vacancies and
@@ -166,9 +175,36 @@ func (s *cacheShard) evictOldest() {
 		s.buckets[victim.hash] = bucket
 	}
 	s.stats.Evictions++
+	if s.stats.Evictions%evictionSampleEvery == 1 {
+		// Journal recording takes only the journal's own lock, never a
+		// shard lock, so holding s.mu here cannot deadlock.
+		s.journal.Record("cache-evict",
+			"shard evicted entry %x (%d evictions so far, %d resident)",
+			victim.hash, s.stats.Evictions, s.lru.Len())
+	}
+}
+
+// setJournal hands every shard the flight recorder for sampled eviction
+// events. Call before the cache is shared across goroutines.
+func (c *Cache) setJournal(j *telemetry.Journal) {
+	for _, s := range c.shards {
+		s.journal = j
+	}
 }
 
 // Stats snapshots every shard's counters, in shard order.
+//
+// Consistency model: each shard's snapshot is taken under that shard's
+// lock, so every CacheStats element is internally consistent (its Hits,
+// Misses, Evictions, Collisions and Entries all come from one instant).
+// Shards are visited one after another, though, so the cross-shard
+// aggregate is NOT a point-in-time cut of the whole cache — lookups
+// landing on shard 7 while shard 0 is being read appear in one snapshot
+// and not the other. Totals are therefore approximate while traffic is
+// in flight and exact once the server has quiesced (e.g. after Close).
+// The telemetry registry's cache metrics are function-backed reads of
+// these same shard counters, so /metrics inherits — and can never
+// disagree with — this model.
 func (c *Cache) Stats() []CacheStats {
 	out := make([]CacheStats, len(c.shards))
 	for i, s := range c.shards {

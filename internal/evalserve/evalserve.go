@@ -27,6 +27,7 @@ import (
 
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/fault"
+	"tensorkmc/internal/telemetry"
 )
 
 // Options tune the service; zero values take the defaults.
@@ -44,6 +45,13 @@ type Options struct {
 	// QueueDepth bounds the pending-miss queue; submitters block when it
 	// is full — the service's backpressure (default 4×MaxBatch).
 	QueueDepth int
+	// Telemetry, if non-nil, exports the service counters as registry
+	// metrics and times fused dispatches under the evalserve/batch span.
+	// The registry metrics are function-backed reads of the very same
+	// atomics and shard counters that Stats() snapshots, so /metrics and
+	// Stats() can never disagree about a value — they are one storage
+	// location rendered two ways.
+	Telemetry *telemetry.Set
 }
 
 // WithDefaults returns a copy with every zero field resolved to its
@@ -159,6 +167,8 @@ type Server struct {
 	deduped        atomic.Int64
 	maxBatchWidth  atomic.Int64
 	queueHighWater atomic.Int64
+
+	batchPh *telemetry.Phase // nil when telemetry is off
 }
 
 // New starts a service over the backend.
@@ -172,11 +182,67 @@ func New(be Backend, opts Options) *Server {
 		reqCh:   make(chan *request, opts.QueueDepth),
 		flights: map[uint64][]*flight{},
 	}
+	s.bindTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// bindTelemetry registers the service counters as function-backed
+// registry metrics reading the same atomics Stats() snapshots, wires
+// the batch-dispatch span, and hands the cache the flight recorder for
+// sampled eviction events.
+func (s *Server) bindTelemetry(set *telemetry.Set) {
+	if set == nil {
+		return
+	}
+	reg := set.Reg()
+	agg := func(pick func(CacheStats) int64) func() int64 {
+		return func() int64 {
+			var total int64
+			for _, sh := range s.cache.Stats() {
+				total += pick(sh)
+			}
+			return total
+		}
+	}
+	reg.CounterFunc(telemetry.MetricCacheHits,
+		"Evaluation cache lookups answered from a shard.",
+		agg(func(c CacheStats) int64 { return c.Hits }))
+	reg.CounterFunc(telemetry.MetricCacheMisses,
+		"Evaluation cache lookups that fell through to the batcher.",
+		agg(func(c CacheStats) int64 { return c.Misses }))
+	reg.CounterFunc(telemetry.MetricCacheEvictions,
+		"Evaluation cache entries displaced by the LRU policy.",
+		agg(func(c CacheStats) int64 { return c.Evictions }))
+	reg.CounterFunc(telemetry.MetricCacheCollisions,
+		"Hash matches vetoed by the full-environment compare.",
+		agg(func(c CacheStats) int64 { return c.Collisions }))
+	reg.GaugeFunc(telemetry.MetricCacheEntries,
+		"Evaluation cache resident entries.",
+		func() float64 {
+			var total int64
+			for _, sh := range s.cache.Stats() {
+				total += int64(sh.Entries)
+			}
+			return float64(total)
+		})
+	reg.CounterFunc(telemetry.MetricEvalBatches,
+		"Fused evaluation batches dispatched.",
+		s.batches.Load)
+	reg.CounterFunc(telemetry.MetricEvalBatchedSys,
+		"Distinct vacancy systems carried by fused batches.",
+		s.batchedSystems.Load)
+	reg.CounterFunc(telemetry.MetricEvalDeduped,
+		"Requests answered by a batch-mate's in-flight evaluation.",
+		s.deduped.Load)
+	reg.GaugeFunc(telemetry.MetricEvalQueueHigh,
+		"Deepest the pending-miss queue has been.",
+		func() float64 { return float64(s.queueHighWater.Load()) })
+	s.batchPh = set.Trace().PhaseAt(telemetry.PhaseEvalServe, telemetry.PhaseBatch)
+	s.cache.setJournal(set.Events())
 }
 
 // Tables returns the shared encoding tables (kmc.Model interface).
@@ -223,9 +289,7 @@ func (s *Server) Evaluate(vet encoding.VET) (Result, error) {
 		return Result{}, err
 	}
 	s.reqCh <- req // blocks when the queue is full: backpressure
-	if q := int64(len(s.reqCh)); q > s.queueHighWater.Load() {
-		s.queueHighWater.Store(q)
-	}
+	raiseMax(&s.queueHighWater, int64(len(s.reqCh)))
 	s.mu.RUnlock()
 	resp := <-req.done
 	return resp.res, resp.err
@@ -340,6 +404,8 @@ func (s *Server) worker() {
 // systems in one backend call, stores the exact outputs, and fans results
 // out to every submitter.
 func (s *Server) serve(batch []*request) {
+	sw := s.batchPh.Start()
+	defer sw.Stop()
 	// Every queued request owns a distinct environment's flight (joiners
 	// never enqueue), so no intra-batch dedup is needed — only a
 	// second-chance cache check, since an entry may have landed between
@@ -377,8 +443,20 @@ func (s *Server) serve(batch []*request) {
 
 	s.batches.Add(1)
 	s.batchedSystems.Add(int64(len(pending)))
-	if w := int64(len(pending)); w > s.maxBatchWidth.Load() {
-		s.maxBatchWidth.Store(w)
+	raiseMax(&s.maxBatchWidth, int64(len(pending)))
+}
+
+// raiseMax lifts *m to at least v. A plain load-compare-store here would
+// race: two goroutines could each pass the compare and the smaller store
+// could land last, regressing the high-water mark. The CAS loop retries
+// until either our value is published or someone else published a larger
+// one.
+func raiseMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 

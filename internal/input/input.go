@@ -67,6 +67,13 @@ type Deck struct {
 	// AuditEvery runs the physics invariant auditor after every Nth
 	// segment (0 = only after recoveries).
 	AuditEvery int
+	// TelemetryAddr, if set, opens the opt-in telemetry HTTP endpoint
+	// on this address (host:port; port 0 lets the kernel pick) serving
+	// /metrics, /healthz, /events and /debug/pprof for the run.
+	TelemetryAddr string
+	// EventLog, if set, receives the flight-recorder event journal as
+	// JSONL when the run exits — on every exit path, including crashes.
+	EventLog string
 }
 
 // Parse reads a deck from r.
@@ -229,6 +236,16 @@ func (d *Deck) apply(key string, args []string) error {
 		default:
 			return fmt.Errorf("invalid eval_f32 %q", args[0])
 		}
+	case "telemetry_addr":
+		if len(args) != 1 {
+			return fmt.Errorf("telemetry_addr wants host:port")
+		}
+		d.TelemetryAddr = args[0]
+	case "event_log":
+		if len(args) != 1 {
+			return fmt.Errorf("event_log wants a path")
+		}
+		d.EventLog = args[0]
 	case "restart":
 		if len(args) != 1 {
 			return fmt.Errorf("restart wants a path")

@@ -8,6 +8,7 @@ import (
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/rng"
+	"tensorkmc/internal/telemetry"
 	"tensorkmc/internal/units"
 )
 
@@ -83,6 +84,37 @@ type Options struct {
 	// LinearSelection replaces the sum tree with a cumulative linear
 	// scan — the no-tree ablation.
 	LinearSelection bool
+	// Telemetry, if non-nil, hooks the engine into the run-wide
+	// telemetry: executed hops bump tkmc_step_total and the hot path is
+	// decomposed into step/select-hop/encode/eval/apply spans under
+	// run/segment. Instrumentation never touches the RNG or the
+	// trajectory, so telemetry-on and telemetry-off runs stay
+	// bit-identical.
+	Telemetry *telemetry.Set
+}
+
+// probes are the engine's pre-resolved telemetry handles; the zero
+// value (all nil) disables instrumentation via the nil-safe no-ops.
+type probes struct {
+	steps                            *telemetry.Counter
+	step, sel, encode, eval, applyPh *telemetry.Phase
+}
+
+func newProbes(set *telemetry.Set) probes {
+	if set == nil {
+		return probes{}
+	}
+	tr := set.Trace()
+	step := tr.PhaseAt(telemetry.PhaseRun, telemetry.PhaseSegment, telemetry.PhaseStep)
+	return probes{
+		steps: set.Reg().Counter(telemetry.MetricStepTotal,
+			"Executed KMC hops (serial engine steps plus parallel rank hops)."),
+		step:    step,
+		sel:     step.Child(telemetry.PhaseSelectHop),
+		encode:  step.Child(telemetry.PhaseEncode),
+		eval:    step.Child(telemetry.PhaseEval),
+		applyPh: step.Child(telemetry.PhaseApply),
+	}
 }
 
 // Stats counts cache behaviour for the ablation benches.
@@ -108,6 +140,7 @@ type Engine struct {
 	time  float64
 	steps int64
 	stats Stats
+	pr    probes
 }
 
 // NewEngine builds an engine over the box's current vacancies. The box
@@ -128,6 +161,7 @@ func NewEngine(box *lattice.Box, model Model, temperatureK float64, r *rng.Strea
 		rnd:    r,
 		opts:   opts,
 		slotOf: make(map[int]int),
+		pr:     newProbes(opts.Telemetry),
 	}
 	for _, v := range lattice.Vacancies(box) {
 		e.systems = append(e.systems, &system{center: v, vet: tb.NewVET(), dirty: true})
@@ -233,13 +267,17 @@ func (e *Engine) TotalRate() float64 {
 func (e *Engine) refresh(slot int) {
 	s := e.systems[slot]
 	if !s.filled {
+		sw := e.pr.encode.Start()
 		e.tb.FillVET(s.vet, s.center, e.box.Get)
+		sw.Stop()
 		s.filled = true
 		e.stats.Refills++
 	}
+	sw := e.pr.eval.Start()
 	initial, final, valid := e.model.HopEnergies(s.vet)
 	var rates [8]float64
 	rates, s.total = Rates(s.vet, e.tb, initial, final, valid, e.temp)
+	sw.Stop()
 	s.rates = rates
 	for k := 0; k < 8; k++ {
 		if valid[k] {
@@ -298,8 +336,11 @@ func (e *Engine) invalidate(changed lattice.Vec, newSpecies lattice.Species, ski
 // hop occurs, and ok is false. ok is also false when no events are
 // possible (zero total rate).
 func (e *Engine) Step(timeLimit float64) (Event, bool) {
+	stepSW := e.pr.step.Start()
+	defer stepSW.Stop()
 	e.refreshAll()
 
+	selSW := e.pr.sel.Start()
 	var total float64
 	if e.opts.LinearSelection {
 		for _, s := range e.systems {
@@ -309,6 +350,7 @@ func (e *Engine) Step(timeLimit float64) (Event, bool) {
 		total = e.tree.Total()
 	}
 	if total <= 0 {
+		selSW.Stop()
 		return Event{}, false
 	}
 
@@ -343,12 +385,14 @@ func (e *Engine) Step(timeLimit float64) (Event, bool) {
 	}
 
 	dt := e.rnd.ExpDeltaT(total)
+	selSW.Stop()
 	if e.time+dt > timeLimit {
 		e.time = timeLimit
 		return Event{}, false
 	}
 	e.time += dt
 
+	applySW := e.pr.applyPh.Start()
 	from := s.center
 	to := e.box.Wrap(from.Add(lattice.NN1[k]))
 	mover := e.box.Get(to)
@@ -367,8 +411,10 @@ func (e *Engine) Step(timeLimit float64) (Event, bool) {
 	// Other cached systems see two occupancy changes.
 	e.invalidate(from, mover, slot)
 	e.invalidate(to, lattice.Vacancy, slot)
+	applySW.Stop()
 
 	e.steps++
+	e.pr.steps.Inc()
 	return Event{Slot: slot, Direction: k, From: from, To: to, Mover: mover, DeltaE: s.deltaE[k], DeltaT: dt}, true
 }
 

@@ -18,8 +18,11 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"tensorkmc/internal/telemetry"
 )
 
 // ErrTimeout is wrapped by receive/barrier timeout errors.
@@ -75,6 +78,13 @@ type World struct {
 
 	chaos *Chaos
 
+	// Per-rank fabric counters (nil-safe no-ops when telemetry is off):
+	// sends[r] counts messages rank r put on the wire, recvs[r] counts
+	// messages rank r accepted, timeouts[r] counts deadline expiries
+	// rank r experienced while waiting on peers.
+	sends, recvs, timeouts []*telemetry.Counter
+	journal                *telemetry.Journal
+
 	statusMu sync.Mutex
 	status   []activity // watchdog state, indexed by rank
 }
@@ -113,6 +123,7 @@ func (w *World) breakWorldLocked(err error) error {
 		w.broken = err
 		close(w.brokenCh)
 		w.cond.Broadcast()
+		w.journal.Record("mpi-stall", "world broken: %v", err)
 	}
 	return w.broken
 }
@@ -123,6 +134,49 @@ func (w *World) Size() int { return w.size }
 // SetChaos installs a fault interposer (nil removes it). Install before
 // the ranks start communicating.
 func (w *World) SetChaos(c *Chaos) { w.chaos = c }
+
+// SetTelemetry exports the fabric's per-rank send/recv/timeout counters
+// into the registry (labelled rank="<r>") and records stall diagnoses
+// in the flight-recorder journal. Install before the ranks start
+// communicating; either argument may be nil.
+func (w *World) SetTelemetry(reg *telemetry.Registry, j *telemetry.Journal) {
+	w.journal = j
+	if reg == nil {
+		return
+	}
+	w.sends = make([]*telemetry.Counter, w.size)
+	w.recvs = make([]*telemetry.Counter, w.size)
+	w.timeouts = make([]*telemetry.Counter, w.size)
+	for r := 0; r < w.size; r++ {
+		label := strconv.Itoa(r)
+		w.sends[r] = reg.Counter(telemetry.MetricMPISends,
+			"Messages each rank put on the fabric.", "rank", label)
+		w.recvs[r] = reg.Counter(telemetry.MetricMPIRecvs,
+			"Messages each rank accepted from the fabric.", "rank", label)
+		w.timeouts[r] = reg.Counter(telemetry.MetricMPITimeouts,
+			"Deadline expiries each rank experienced waiting on peers.", "rank", label)
+	}
+}
+
+// countSend / countRecv / countTimeout bump the per-rank fabric
+// counters; all are no-ops until SetTelemetry installs them.
+func (w *World) countSend(rank int) {
+	if w.sends != nil {
+		w.sends[rank].Inc()
+	}
+}
+
+func (w *World) countRecv(rank int) {
+	if w.recvs != nil {
+		w.recvs[rank].Inc()
+	}
+}
+
+func (w *World) countTimeout(rank int) {
+	if w.timeouts != nil {
+		w.timeouts[rank].Inc()
+	}
+}
 
 // Err returns the latched fabric error, or nil while the world is
 // healthy. Once a collective times out the world is permanently broken:
@@ -187,6 +241,7 @@ func (w *World) send(from, to, tag int, data any, block bool) error {
 					dst <- m
 				}
 			})
+			w.countSend(from)
 			return nil
 		}
 	}
@@ -201,6 +256,7 @@ func (w *World) send(from, to, tag int, data any, block bool) error {
 			}
 		}
 	}
+	w.countSend(from)
 	return nil
 }
 
@@ -236,10 +292,12 @@ func (c *Comm) RecvTimeout(from, tag int, d time.Duration) (any, error) {
 		select {
 		case m = <-src:
 		case <-timer.C:
+			c.world.countTimeout(c.rank)
 			return nil, fmt.Errorf("mpi: rank %d receive %w: no message from rank %d (tag %d) within %v",
 				c.rank, ErrTimeout, from, tag, d)
 		}
 	}
+	c.world.countRecv(c.rank)
 	if m.tag != tag {
 		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag)
 	}
@@ -318,6 +376,7 @@ func (c *Comm) barrier(d time.Duration) error {
 					missing = append(missing, r)
 				}
 			}
+			w.countTimeout(c.rank)
 			w.breakWorldLocked(&StallError{Timeout: d, Missing: missing, Waiting: waiting})
 			break
 		}
@@ -419,6 +478,7 @@ func (c *Comm) AllGatherTimeout(v any, d time.Duration) ([]any, error) {
 		if len(missing) == 0 {
 			continue // the sweep found everything after all
 		}
+		w.countTimeout(c.rank)
 		w.mu.Lock()
 		err := w.breakWorldLocked(&StallError{Timeout: d, Missing: missing, Waiting: []int{c.rank}})
 		w.mu.Unlock()
@@ -480,6 +540,7 @@ func (c *Comm) gatherAccept(from, tag int, m message, out []any, got []bool) boo
 	switch {
 	case m.tag == tag:
 		out[from], got[from] = m.data, true
+		c.world.countRecv(c.rank)
 		return true
 	case m.tag >= gatherTagBase && m.tag < tag:
 		return false // stale duplicate or straggler: drop

@@ -25,6 +25,7 @@ import (
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/mpi"
 	"tensorkmc/internal/rng"
+	"tensorkmc/internal/telemetry"
 )
 
 // DefaultTStop is the paper's strict synchronisation interval (seconds).
@@ -51,6 +52,13 @@ type Config struct {
 	// Chaos, if non-nil, is installed on the run's message fabric to
 	// inject faults under test control.
 	Chaos *mpi.Chaos
+	// Telemetry, if non-nil, instruments the sweep: rank hops bump
+	// tkmc_step_total, sector-window KMC and sector exchanges get
+	// run/segment/{sector,exchange} spans (summed over ranks, so their
+	// totals are rank-seconds), and the message fabric exports per-rank
+	// send/recv/timeout counters. Purely observational: the trajectory
+	// is bit-identical with telemetry on or off.
+	Telemetry *telemetry.Set
 }
 
 // Ranks returns the world size.
@@ -100,6 +108,9 @@ func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Mode
 	w := mpi.NewWorld(nRanks)
 	if cfg.Chaos != nil {
 		w.SetChaos(cfg.Chaos)
+	}
+	if cfg.Telemetry != nil {
+		w.SetTelemetry(cfg.Telemetry.Reg(), cfg.Telemetry.Events())
 	}
 	mpi.RunWorld(w, func(c *mpi.Comm) {
 		// A corruption tripwire (NaN propensity, non-finite energy) fires
@@ -194,6 +205,13 @@ type rankState struct {
 
 	changes []SiteChange
 	stats   RankStats
+
+	// Telemetry handles (nil-safe no-ops when uninstrumented). All
+	// ranks share the same nodes; the atomics make concurrent
+	// accumulation safe.
+	hopCtr     *telemetry.Counter
+	sectorPh   *telemetry.Phase
+	exchangePh *telemetry.Phase
 }
 
 func newRank(c *mpi.Comm, box *lattice.Box, cfg Config, model kmc.Model) *rankState {
@@ -215,6 +233,13 @@ func newRank(c *mpi.Comm, box *lattice.Box, cfg Config, model kmc.Model) *rankSt
 		global: lattice.NewBox(box.Nx, box.Ny, box.Nz, box.A), // geometry helper
 		dom:    dom,
 		slotOf: make(map[int]int),
+	}
+	if set := cfg.Telemetry; set != nil {
+		seg := set.Trace().PhaseAt(telemetry.PhaseRun, telemetry.PhaseSegment)
+		r.hopCtr = set.Reg().Counter(telemetry.MetricStepTotal,
+			"Executed KMC hops (serial engine steps plus parallel rank hops).")
+		r.sectorPh = seg.Child(telemetry.PhaseSector)
+		r.exchangePh = seg.Child(telemetry.PhaseExchange)
 	}
 	// Scatter: local + ghost contents from the global box.
 	dom.ForEachLocal(func(v lattice.Vec, idx int) {
@@ -382,6 +407,7 @@ func (r *rankState) executeHop(slot int, k int) {
 		SiteChange{Site: toCanon, New: lattice.Vacancy})
 	r.stats.Sent += 2
 	r.stats.Hops++
+	r.hopCtr.Inc()
 
 	if r.dom.IsLocal(toCanon) {
 		// Stays ours: move the system.
@@ -480,8 +506,13 @@ func (r *rankState) run(duration float64) error {
 			window = remaining
 		}
 		for sector := 0; sector < 8; sector++ {
+			sw := r.sectorPh.Start()
 			r.runSector(sector, window)
-			if err := r.exchange(); err != nil {
+			sw.Stop()
+			sw = r.exchangePh.Start()
+			err := r.exchange()
+			sw.Stop()
+			if err != nil {
 				return fmt.Errorf("sector %d exchange: %w", sector, err)
 			}
 		}

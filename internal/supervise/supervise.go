@@ -29,6 +29,7 @@ import (
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/rng"
+	"tensorkmc/internal/telemetry"
 )
 
 // Failure describes one failed segment attempt, as passed to the
@@ -120,6 +121,41 @@ type Supervisor struct {
 	segIndex int              // 1-based segment counter across Run calls
 	rnd      *rng.Stream      // backoff jitter
 	rec      core.Recovery
+	tele     probes
+}
+
+// probes are the supervisor's telemetry handles; the zero value (all
+// nil) is a valid no-op. The counters mirror the core.Recovery fields
+// rather than exposing them directly because rec is plain ints mutated
+// by the supervisor goroutine — a function-backed metric read from the
+// HTTP scraper would race. The atomic mirrors are bumped at the same
+// sites the rec fields are, so they can only disagree by an in-flight
+// increment.
+type probes struct {
+	failures, replays, shadowRestores, diskRestores, audits *telemetry.Counter
+	auditPh                                                 *telemetry.Phase
+	journal                                                 *telemetry.Journal
+}
+
+func newProbes(set *telemetry.Set) probes {
+	if set == nil {
+		return probes{}
+	}
+	reg := set.Reg()
+	return probes{
+		failures: reg.Counter(telemetry.MetricRecoveryFailures,
+			"Failed segment attempts seen by the supervisor (including audit failures)."),
+		replays: reg.Counter(telemetry.MetricRecoveryReplays,
+			"Segments re-run after a restore."),
+		shadowRestores: reg.Counter(telemetry.MetricRecoveryRestores,
+			"Known-good state restores, by source.", "kind", "shadow"),
+		diskRestores: reg.Counter(telemetry.MetricRecoveryRestores,
+			"Known-good state restores, by source.", "kind", "disk"),
+		audits: reg.Counter(telemetry.MetricRecoveryAudits,
+			"Physics invariant auditor passes (periodic, post-recovery and on-demand)."),
+		auditPh: set.Trace().PhaseAt(telemetry.PhaseRun, telemetry.PhaseAudit),
+		journal: set.Events(),
+	}
 }
 
 // New builds the simulation and captures the first shadow checkpoint
@@ -146,6 +182,7 @@ func New(simCfg core.Config, cfg Config) (*Supervisor, error) {
 		simCfg: simCfg,
 		sim:    sim,
 		rnd:    rng.New(cfg.Seed ^ simCfg.Seed ^ 0x5e1f4ea11c0de),
+		tele:   newProbes(simCfg.Telemetry),
 	}
 	s.shadow = sim.Checkpoint()
 	s.base = audit.Capture(sim.Box(), sim.Time())
@@ -169,7 +206,10 @@ func (s *Supervisor) Recovery() *core.Recovery {
 // Audit runs the invariant auditor on demand: conservation and clock
 // against the baseline, then a from-scratch propensity sweep.
 func (s *Supervisor) Audit() error {
+	sw := s.tele.auditPh.Start()
+	defer sw.Stop()
 	s.rec.Audits++
+	s.tele.audits.Inc()
 	base := s.base
 	base.Time = s.lastTime
 	if err := audit.Check(s.sim.Box(), s.sim.Time(), base); err != nil {
@@ -229,14 +269,21 @@ func (s *Supervisor) runSegment(chunk float64) error {
 		}
 
 		s.rec.Failures++
+		s.tele.failures.Inc()
+		s.tele.journal.RecordSim("segment-failure", s.sim.Time(),
+			"segment %d attempt %d: %v", s.segIndex, attempt, err)
 		s.logFailure(fmt.Sprintf("segment %d attempt %d: %v", s.segIndex, attempt, err))
 		var ce *fault.CorruptionError
 		if errors.As(err, &ce) {
 			s.notify(Failure{Segment: s.segIndex, Attempt: attempt, Err: err})
+			s.tele.journal.Record("unrecoverable",
+				"segment %d: numerical corruption, failing fast", s.segIndex)
 			return &UnrecoverableError{Reason: "numerical corruption", Err: err}
 		}
 		if attempt > s.cfg.MaxRetries {
 			s.notify(Failure{Segment: s.segIndex, Attempt: attempt, Err: err})
+			s.tele.journal.Record("retries-exhausted",
+				"segment %d gave up after %d attempt(s)", s.segIndex, attempt)
 			return &ExhaustedError{Segment: s.segIndex, Attempts: attempt, Err: err}
 		}
 
@@ -247,12 +294,15 @@ func (s *Supervisor) runSegment(chunk float64) error {
 
 		timeAtFailure := s.sim.Time()
 		if rerr := s.restore(); rerr != nil {
+			s.tele.journal.Record("unrecoverable",
+				"segment %d: no recoverable state left", s.segIndex)
 			return &UnrecoverableError{Reason: "no recoverable state", Err: errors.Join(err, rerr)}
 		}
 		if lost := timeAtFailure - s.sim.Time(); lost > 0 {
 			s.rec.ReplayedTime += lost
 		}
 		s.rec.Replays++
+		s.tele.replays.Inc()
 	}
 }
 
@@ -264,6 +314,9 @@ func (s *Supervisor) restore() error {
 	shadowErr := s.restoreFrom(s.shadow)
 	if shadowErr == nil {
 		s.rec.ShadowRestores++
+		s.tele.shadowRestores.Inc()
+		s.tele.journal.RecordSim("restore", s.sim.Time(),
+			"restored from in-memory shadow checkpoint (segment %d)", s.segIndex)
 		return nil
 	}
 	s.logFailure(fmt.Sprintf("shadow restore rejected: %v", shadowErr))
@@ -282,6 +335,9 @@ func (s *Supervisor) restore() error {
 			if err == nil {
 				s.shadow = ck
 				s.rec.DiskRestores++
+				s.tele.diskRestores.Inc()
+				s.tele.journal.RecordSim("restore", s.sim.Time(),
+					"restored from disk checkpoint %s (segment %d)", p, s.segIndex)
 				return nil
 			}
 		}
@@ -303,6 +359,7 @@ func (s *Supervisor) restoreFrom(ck *core.Checkpoint) error {
 		return err
 	}
 	s.rec.Audits++
+	s.tele.audits.Inc()
 	if err := audit.Check(sim.Box(), sim.Time(), s.base); err != nil {
 		sim.Close()
 		return err

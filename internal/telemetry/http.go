@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler builds the telemetry HTTP mux over a set:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness probe ("ok")
+//	/events         flight-recorder ring as JSONL, oldest first
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// It is exported separately from Serve so tests (and embedders with
+// their own servers) can mount it without opening a port.
+func Handler(s *Set) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if d := s.Events().Dropped(); d > 0 {
+			w.Header().Set("X-Events-Dropped", fmt.Sprint(d))
+		}
+		s.Events().WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer is a running telemetry endpoint.
+type HTTPServer struct {
+	srv  *http.Server
+	addr string
+	done chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve opens the opt-in telemetry endpoint on addr (e.g.
+// "127.0.0.1:9090"; use port 0 to let the kernel pick) and serves the
+// Handler mux in the background until Close.
+func Serve(addr string, s *Set) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	h := &HTTPServer{
+		srv:  &http.Server{Handler: Handler(s), ReadHeaderTimeout: 10 * time.Second},
+		addr: ln.Addr().String(),
+		done: make(chan error, 1),
+	}
+	go func() { h.done <- h.srv.Serve(ln) }()
+	return h, nil
+}
+
+// Addr returns the bound address.
+func (h *HTTPServer) Addr() string { return h.addr }
+
+// Close stops the endpoint (idempotent; safe on nil).
+func (h *HTTPServer) Close() error {
+	if h == nil {
+		return nil
+	}
+	h.closeOnce.Do(func() {
+		h.closeErr = h.srv.Close()
+		<-h.done
+	})
+	return h.closeErr
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalRingOverflow: the ring keeps the newest events and counts
+// the dropped oldest ones — a post-mortem wants the tail, not the head.
+func TestJournalRingOverflow(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record("tick", "event %d", i)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("resident %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, want)
+		}
+		if want := "event " + string(rune('6'+i)); e.Msg != want {
+			t.Errorf("event %d: msg %q, want %q", i, e.Msg, want)
+		}
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", j.Dropped())
+	}
+}
+
+// TestJournalFlushFile: JSONL lands on disk, the ring stays intact for
+// a second flush (the crash path can run after the exit path), and an
+// empty journal still produces the file.
+func TestJournalFlushFile(t *testing.T) {
+	dir := t.TempDir()
+	j := NewJournal(8)
+	j.Record("restore", "restored from shadow")
+	j.RecordSim("audit", 1.5e-7, "audit violation: %s", "clock drift")
+
+	path := filepath.Join(dir, "events.jsonl")
+	if err := j.FlushFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("flushed %d events, want 2", len(events))
+	}
+	if events[0].Type != "restore" || events[1].Sim != 1.5e-7 {
+		t.Fatalf("flushed events wrong: %+v", events)
+	}
+	if events[0].Wall.IsZero() {
+		t.Fatal("wall-clock stamp missing")
+	}
+
+	// Second flush (the ring was not consumed).
+	if err := j.FlushFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Events(); len(got) != 2 {
+		t.Fatalf("flush consumed the ring: %d resident", len(got))
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := NewJournal(4).FlushFile(empty); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(empty); err != nil || st.Size() != 0 {
+		t.Fatalf("empty journal must still create an empty file: %v", err)
+	}
+}
+
+// TestJournalConcurrency: concurrent recorders never lose the sequence
+// (run under -race).
+func TestJournalConcurrency(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record("t", "m")
+			}
+		}()
+	}
+	wg.Wait()
+	if total := uint64(len(j.Events())) + j.Dropped(); total != 800 {
+		t.Fatalf("resident+dropped = %d, want 800", total)
+	}
+}
+
+// TestJournalMetrics: the journal's own accounting shows up in the
+// registry it was bound to.
+func TestJournalMetrics(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < DefaultJournalCapacity+5; i++ {
+		s.Events().Record("t", "m")
+	}
+	var sb strings.Builder
+	if err := s.Reg().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, MetricEventsTotal+" 4101") {
+		t.Errorf("events total missing/wrong:\n%s", out)
+	}
+	if !strings.Contains(out, MetricEventsDropped+" 5") {
+		t.Errorf("events dropped missing/wrong:\n%s", out)
+	}
+}
