@@ -106,6 +106,13 @@ type Config struct {
 	// arithmetic, deterministic but NOT bit-identical to the f64 engine
 	// path. Ignored for non-NNP potentials.
 	EvalF32 bool
+	// EvalSpeculate, when positive with EvalCache enabled, has the
+	// engines predict each refreshed system's EvalSpeculate most
+	// probable hops and hand the post-hop environments to the
+	// evaluation service as low-priority prefetch. Speculation is pure
+	// cache warm-up: mispredictions cost only wasted evaluation, and
+	// trajectories are bit-identical with it on or off.
+	EvalSpeculate int
 
 	// ExchangeTimeout bounds each parallel sector exchange; on expiry
 	// the sweep aborts with a diagnostic naming the stalled ranks
@@ -257,6 +264,11 @@ func New(cfg Config) (*Simulation, error) {
 		// Every rank (and the serial engine) shares the one service, so
 		// identical environments on different ranks hit the same entry.
 		s.mkMod = func() kmc.Model { return s.evalSrv }
+		if cfg.EvalSpeculate > 0 {
+			cfg.Options.Speculate = cfg.EvalSpeculate
+			cfg.Options.Prefetcher = s.evalSrv
+			s.Cfg.Options = cfg.Options
+		}
 	}
 	s.model = s.mkMod()
 
@@ -468,6 +480,8 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 			ExchangeTimeout: s.Cfg.ExchangeTimeout,
 			Chaos:           s.Cfg.Chaos,
 			Telemetry:       s.Cfg.Telemetry,
+			Speculate:       s.Cfg.Options.Speculate,
+			Prefetcher:      s.Cfg.Options.Prefetcher,
 		}
 		res, err := sublattice.Run(s.box, cfg, duration, s.mkMod)
 		if err != nil {

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tensorkmc/internal/evalserve"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// runWithStats is checkpointBytes plus the evaluation-service and engine
+// counters, so speculation tests can assert both bit-identity and that
+// speculation actually happened.
+func runWithStats(t *testing.T, cfg Config, duration float64) ([]byte, evalserve.Stats, kmc.Stats) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(duration, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := checkpointImage(t, s)
+	st, _ := s.EvalStats()
+	return raw, st, s.EngineStats()
+}
+
+// checkpointImage saves the simulation's final checkpoint and returns
+// its raw bytes.
+func checkpointImage(t *testing.T, s *Simulation) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "final.tkmcbox")
+	if err := s.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// specBase is the shared dilute Fe–Cu workload of the speculation
+// contract tests.
+func specBase() Config {
+	return Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.0134, VacancyFraction: 0.002,
+		Seed: 42, EvalCache: 1 << 15, EvalWorkers: 2,
+	}
+}
+
+// TestSpeculationBitIdenticalEAM is the speculation acceptance contract:
+// a run with speculative prefetching enabled must produce a
+// byte-identical final checkpoint — same trajectory, same clock, same
+// RNG state — as the same run without it. Speculation may only change
+// cache temperature.
+func TestSpeculationBitIdenticalEAM(t *testing.T) {
+	const duration = 4e-7
+	plain, _, _ := runWithStats(t, specBase(), duration)
+
+	spec := specBase()
+	spec.EvalSpeculate = 3
+	warmed, est, kst := runWithStats(t, spec, duration)
+
+	if !bytes.Equal(plain, warmed) {
+		t.Fatal("speculative run's final checkpoint differs from the non-speculative run")
+	}
+	if kst.Speculations == 0 {
+		t.Fatal("engine never speculated despite EvalSpeculate > 0")
+	}
+	if est.SpecEnqueued == 0 {
+		t.Fatalf("no speculative prefetch reached the service: %s", est.String())
+	}
+}
+
+// TestSpeculationBitIdenticalNNP repeats the contract on the fused NNP
+// batch path.
+func TestSpeculationBitIdenticalNNP(t *testing.T) {
+	desc := feature.Standard(units.CutoffStandard)
+	pot := nnp.NewPotential(desc, []int{desc.Dim(), 12, 1}, rng.New(9))
+	base := Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.02, VacancyFraction: 0.001,
+		Seed: 11, Potential: NNP, Net: pot, EvalCache: 1 << 15,
+	}
+	const duration = 1e-7
+
+	plain, _, _ := runWithStats(t, base, duration)
+
+	spec := base
+	spec.EvalSpeculate = 8
+	warmed, est, kst := runWithStats(t, spec, duration)
+
+	if !bytes.Equal(plain, warmed) {
+		t.Fatal("speculative fused-NNP run diverged from the non-speculative run")
+	}
+	if kst.Speculations == 0 || est.SpecEnqueued == 0 {
+		t.Fatalf("NNP run never speculated: engine=%d service=%s", kst.Speculations, est.String())
+	}
+}
+
+// TestSpeculationBitIdenticalParallel repeats the contract on the
+// sublattice path: every rank speculates into the one shared service,
+// and the sweep must stay byte-identical.
+func TestSpeculationBitIdenticalParallel(t *testing.T) {
+	base := Config{
+		Cells: [3]int{16, 16, 16}, CuFraction: 0.03, VacancyFraction: 0.001,
+		Seed: 5, Ranks: [3]int{2, 1, 1}, EvalCache: 1 << 15,
+	}
+	const duration = 5e-8
+
+	plain, _, _ := runWithStats(t, base, duration)
+
+	spec := base
+	spec.EvalSpeculate = 3
+	warmed, est, _ := runWithStats(t, spec, duration)
+
+	if !bytes.Equal(plain, warmed) {
+		t.Fatal("speculative parallel run diverged from the non-speculative run")
+	}
+	if est.SpecEnqueued == 0 {
+		t.Fatalf("no rank speculated: %s", est.String())
+	}
+}
+
+// TestSpeculationWarmsDemandPath asserts the payoff side: with a cache
+// big enough that nothing is evicted, the speculative run's demand
+// misses can only shrink (its cache contents are a superset at every
+// lookup), and at least some speculative entries must be consumed by
+// demand traffic (SpecWarmHits) — mispredictions alone would leave the
+// counters at zero.
+func TestSpeculationWarmsDemandPath(t *testing.T) {
+	const duration = 4e-7
+	_, off, _ := runWithStats(t, specBase(), duration)
+
+	spec := specBase()
+	spec.EvalSpeculate = 8
+	_, on, _ := runWithStats(t, spec, duration)
+
+	if on.Evictions != 0 || off.Evictions != 0 {
+		t.Fatalf("cache sized too small for the superset argument: %d/%d evictions",
+			off.Evictions, on.Evictions)
+	}
+	if on.Misses > off.Misses {
+		t.Fatalf("speculation increased demand misses: %d > %d", on.Misses, off.Misses)
+	}
+	if on.SpecWarmHits == 0 {
+		t.Fatalf("speculation never warmed a demand lookup: %s", on.String())
+	}
+	t.Logf("spec off: %s", off.String())
+	t.Logf("spec on:  %s", on.String())
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/fault"
@@ -21,6 +22,10 @@ import (
 // the cache stores, what the batcher returns, and what the wire protocol
 // carries.
 type Result struct {
+	// Initial is the relaxed region energy of the current state; Final
+	// holds the region energy after each of the 8 NN1 hops, defined only
+	// where Valid marks the direction open (an atom is there to swap
+	// with).
 	Initial float64
 	Final   [8]float64
 	Valid   [8]bool
@@ -110,26 +115,47 @@ type FusionStats struct {
 
 // FusionBackend evaluates NNP vacancy systems by coalescing every region
 // site of every state of every system in the batch into per-element
-// feature matrices and running each through the big-fusion operator of
-// Sec. 3.5 — the SMC-AI pattern of turning many small Monte Carlo energy
-// requests into a few wide accelerator matrix calls. Row independence of
-// the fused matmul makes the per-site energies, and therefore the summed
-// region energies, bit-identical to the one-system-at-a-time path.
+// feature matrices and running each through the wide-GEMM big-fusion
+// operator (fusion.RunBigFusionWide) — the SMC-AI pattern of turning
+// many small Monte Carlo energy requests into a few wide accelerator
+// matrix calls, blocked into cache-resident row tiles and spread over a
+// goroutine pool. Row independence of the fused matmul makes the
+// per-site energies, and therefore the summed region energies,
+// bit-identical to the one-system-at-a-time path for any worker count.
+//
+// Concurrency: EvaluateBatch is safe for concurrent callers (the server
+// runs a bounded worker pool); each call builds private working state
+// and only the stats are shared, under fb.mu. SetTelemetry and
+// SetWorkers must be called before the backend is shared.
 type FusionBackend struct {
-	pot  *nnp.Potential
-	tb   *encoding.Tables
-	tab  *feature.Table
-	arch sw.Arch
-	prec Precision
+	pot     *nnp.Potential
+	tb      *encoding.Tables
+	tab     *feature.Table
+	arch    sw.Arch
+	prec    Precision
+	workers int // GEMM/feature worker count; 0 = GOMAXPROCS
 
 	mu    sync.Mutex
 	stats FusionStats
 
+	// scratch pools the per-call fused feature matrices. Every row of a
+	// borrowed buffer is fully overwritten by pass 2 before it is read,
+	// so reuse is invisible to results — it only removes the page-fault
+	// cost of faulting in tens of megabytes of fresh matrix per batch.
+	scratch sync.Pool
+
 	featurePh, fusionPh *telemetry.Phase // nil when telemetry is off
 }
 
+// fbScratch is one EvaluateBatch call's reusable feature-matrix backing
+// store (one buffer per element head).
+type fbScratch struct {
+	bufs [lattice.NumElements][]float64
+}
+
 // NewFusionBackend binds a trained potential to tables and an (emulated)
-// accelerator architecture.
+// accelerator architecture. The batched evaluation parallelises across
+// fusion.WideWorkers(0) goroutines by default; tune with SetWorkers.
 func NewFusionBackend(pot *nnp.Potential, tb *encoding.Tables, prec Precision) *FusionBackend {
 	return &FusionBackend{
 		pot:  pot,
@@ -140,13 +166,20 @@ func NewFusionBackend(pot *nnp.Potential, tb *encoding.Tables, prec Precision) *
 	}
 }
 
+// SetWorkers fixes the goroutine count used for feature assembly and the
+// wide GEMM (non-positive restores the GOMAXPROCS default). Worker count
+// never changes results — only wall time. Call before the backend is
+// shared across server workers.
+func (fb *FusionBackend) SetWorkers(n int) { fb.workers = n }
+
 // Tables returns the encoding tables.
 func (fb *FusionBackend) Tables() *encoding.Tables { return fb.tb }
 
 // SetTelemetry times the two halves of every fused evaluation under
-// evalserve/batch — feature assembly (passes 1+2) and the fused kernel
-// launches — so the run summary shows where accelerator batches spend
-// their wall time. Call before the backend is shared across workers.
+// evalserve/batch — row counting (pass 1) under PhaseFeature, and the
+// fused assemble-and-evaluate pipeline under PhaseFusion — so the run
+// summary shows where accelerator batches spend their wall time. Call
+// before the backend is shared across workers.
 func (fb *FusionBackend) SetTelemetry(set *telemetry.Set) {
 	if set == nil {
 		return
@@ -203,49 +236,146 @@ func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
 			rowsPerElem[e] += n
 		}
 	})
-
-	// Pass 2 — compute and normalise every feature row into its slot.
-	xs := make([]nnp.Matrix, lattice.NumElements)
-	for e := range xs {
-		xs[e] = nnp.NewMatrix(rowsPerElem[e], dim)
-	}
-	cursor := make([]int, lattice.NumElements)
-	feats := make([]float64, dim)
-	forEachState(tb, work, func(s, state int, vet encoding.VET) {
-		for i := 0; i < tb.NRegion; i++ {
-			sp := vet[i]
-			if !sp.IsAtom() {
-				continue
-			}
-			e := int(sp)
-			feature.ComputeSite(tb, fb.tab, vet, i, feats)
-			pot.NormalizeInto(xs[e].Row(cursor[e]), feats)
-			cursor[e]++
-		}
-	})
-
 	featSW.Stop()
 
-	// One fused kernel launch per element head.
+	// Pass 2 — compute, normalise and evaluate every feature row. Systems
+	// are independent (each owns the disjoint row ranges pass 1 assigned
+	// it), so they are spread over the worker pool; the per-row arithmetic
+	// — ComputeSite into the row, then the in-place channel normalisation
+	// — is exactly NormalizeInto's, minus the copy.
+	workers := fusion.WideWorkers(fb.workers)
 	fusionSW := fb.fusionPh.Start()
 	outs := make([]nnp.Matrix, lattice.NumElements)
 	var modeled float64
 	var totalRows int64
-	for e := range xs {
-		if xs[e].Rows == 0 {
-			outs[e] = nnp.NewMatrix(0, 1)
-			continue
+	if fb.prec == F64 {
+		// Streaming pipeline: each worker stages up to WideRowBlock rows
+		// per element and forwards the tile through the wide run while it
+		// is still cache-hot, so the fused input matrix — tens of
+		// megabytes at production widths — never round-trips through DRAM
+		// between feature assembly and the GEMM. Within a system, an
+		// element's rows are globally contiguous across states (pass 1
+		// numbers them system-major), so a stage only ever holds one
+		// contiguous output range; stages flush at tile and system
+		// boundaries.
+		var runs [lattice.NumElements]*fusion.WideRun
+		for e := 0; e < lattice.NumElements; e++ {
+			if rowsPerElem[e] > 0 {
+				runs[e] = fusion.BeginBigFusionWide(pot.Nets[e], rowsPerElem[e], fb.arch)
+			}
 		}
-		var res fusion.Result
-		switch fb.prec {
-		case F32:
-			res = fusion.RunBigFusionF32(pot.Nets[e], xs[e], fb.arch)
-		default:
-			res = fusion.Run(fusion.BigFusion, pot.Nets[e], xs[e], fb.arch)
+		forEachSystem(nSys, workers, func() func(s int) {
+			scratch := &nnp.BlockScratch{}
+			type stage struct {
+				x  nnp.Matrix
+				n  int // staged rows
+				g0 int // global output row of staged row 0
+			}
+			var stages [lattice.NumElements]stage
+			for e := range stages {
+				stages[e].x = nnp.NewMatrix(fusion.WideRowBlock, dim)
+			}
+			flush := func(e int) {
+				st := &stages[e]
+				if st.n == 0 {
+					return
+				}
+				tile := nnp.Matrix{Rows: st.n, Cols: dim, Data: st.x.Data[:st.n*dim]}
+				runs[e].Rows(tile, st.g0, scratch)
+				st.n = 0
+			}
+			return func(s int) {
+				var cursor [lattice.NumElements]int
+				state := 0
+				forSystemStates(tb, work[s], func(vet encoding.VET) {
+					for e := 0; e < lattice.NumElements; e++ {
+						cursor[e] = spans[s][state][e].start
+					}
+					for i := 0; i < tb.NRegion; i++ {
+						sp := vet[i]
+						if !sp.IsAtom() {
+							continue
+						}
+						e := int(sp)
+						st := &stages[e]
+						if st.n == fusion.WideRowBlock {
+							flush(e)
+						}
+						if st.n == 0 {
+							st.g0 = cursor[e]
+						}
+						row := st.x.Row(st.n)
+						feature.ComputeSite(tb, fb.tab, vet, i, row)
+						pot.NormalizeInPlace(row)
+						st.n++
+						cursor[e]++
+					}
+					state++
+				})
+				for e := range stages {
+					flush(e)
+				}
+			}
+		})
+		for e := range runs {
+			if runs[e] == nil {
+				outs[e] = nnp.NewMatrix(0, 1)
+				continue
+			}
+			res := runs[e].Finish()
+			outs[e] = res.Out
+			modeled += res.Seconds
+			totalRows += int64(res.Out.Rows)
 		}
-		outs[e] = res.Out
-		modeled += res.Seconds
-		totalRows += int64(xs[e].Rows)
+	} else {
+		// F32 materialises the fused per-element matrices (quantisation
+		// converts them wholesale) and launches one wide kernel per head.
+		sc, _ := fb.scratch.Get().(*fbScratch)
+		if sc == nil {
+			sc = &fbScratch{}
+		}
+		xs := make([]nnp.Matrix, lattice.NumElements)
+		for e := range xs {
+			n := rowsPerElem[e] * dim
+			if cap(sc.bufs[e]) < n {
+				sc.bufs[e] = make([]float64, n)
+			}
+			xs[e] = nnp.Matrix{Rows: rowsPerElem[e], Cols: dim, Data: sc.bufs[e][:n]}
+		}
+		forEachSystem(nSys, workers, func() func(s int) {
+			return func(s int) {
+				var cursor [lattice.NumElements]int
+				state := 0
+				forSystemStates(tb, work[s], func(vet encoding.VET) {
+					for e := 0; e < lattice.NumElements; e++ {
+						cursor[e] = spans[s][state][e].start
+					}
+					for i := 0; i < tb.NRegion; i++ {
+						sp := vet[i]
+						if !sp.IsAtom() {
+							continue
+						}
+						e := int(sp)
+						row := xs[e].Row(cursor[e])
+						feature.ComputeSite(tb, fb.tab, vet, i, row)
+						pot.NormalizeInPlace(row)
+						cursor[e]++
+					}
+					state++
+				})
+			}
+		})
+		for e := range xs {
+			if xs[e].Rows == 0 {
+				outs[e] = nnp.NewMatrix(0, 1)
+				continue
+			}
+			res := fusion.RunBigFusionWideF32(pot.Nets[e], xs[e], fb.arch, workers)
+			outs[e] = res.Out
+			modeled += res.Seconds
+			totalRows += int64(xs[e].Rows)
+		}
+		fb.scratch.Put(sc) // fused inputs fully consumed by the kernel launches
 	}
 	fusionSW.Stop()
 
@@ -289,17 +419,65 @@ func (fb *FusionBackend) EvaluateBatch(vets []encoding.VET) []Result {
 // forEachState visits, for every system, the initial state and each valid
 // final state, with the VET temporarily mutated into that state (hops are
 // applied and reverted exactly as Potential.HopEnergies does). States are
-// numbered 0 (initial) and k+1 (hop direction k).
+// numbered 0 (initial) and k+1 (hop direction k). Single-goroutine only
+// (it mutates the VETs in place); the parallel feature pass instead runs
+// forSystemStates per system on the owning worker.
 func forEachState(tb *encoding.Tables, work []encoding.VET, visit func(s, state int, vet encoding.VET)) {
 	for s, vet := range work {
-		visit(s, 0, vet)
-		for k := 0; k < 8; k++ {
-			if !vet[tb.NN1Index[k]].IsAtom() {
-				continue
-			}
-			tb.ApplyHop(vet, k)
-			visit(s, k+1, vet)
-			tb.ApplyHop(vet, k)
-		}
+		state := 0
+		forSystemStates(tb, vet, func(v encoding.VET) {
+			visit(s, state, v)
+			state++
+		})
 	}
+}
+
+// forSystemStates visits one system's states in canonical order — the
+// initial VET, then each valid hop's final state — mutating and reverting
+// the VET in place. The caller must own the VET exclusively.
+func forSystemStates(tb *encoding.Tables, vet encoding.VET, visit func(vet encoding.VET)) {
+	visit(vet)
+	for k := 0; k < 8; k++ {
+		if !vet[tb.NN1Index[k]].IsAtom() {
+			continue
+		}
+		tb.ApplyHop(vet, k)
+		visit(vet)
+		tb.ApplyHop(vet, k)
+	}
+}
+
+// forEachSystem runs visit(s) for every system index, spread over up to
+// `workers` goroutines (inline when one suffices). mk builds one visit
+// function per worker so each can close over private staging buffers and
+// scratch. Systems write only rows they own, so scheduling never affects
+// results.
+func forEachSystem(n, workers int, mk func() func(s int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		visit := mk()
+		for s := 0; s < n; s++ {
+			visit(s)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			visit := mk()
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				visit(s)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,179 @@
+package evalserve
+
+import (
+	"testing"
+	"time"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/nnp"
+)
+
+// waitFor polls cond for up to two seconds — speculative work completes
+// asynchronously, so tests observe it by convergence, not by handshake.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestPrefetchWarmsCache: speculatively prefetched environments must be
+// evaluated in the background, answer later demand lookups from the
+// cache with bit-identical energies, and be accounted as realised
+// speculation value (SpecWarmHits).
+func TestPrefetchWarmsCache(t *testing.T) {
+	pot, tb := smallPotential(21)
+	srv := New(NewFusionBackend(pot, tb, F64), Options{Capacity: 256, MaxBatch: 8, Workers: 1})
+	defer srv.Close()
+	direct := nnp.NewLatticeEvaluator(pot, tb)
+	vets := sampleVETs(t, tb, 6, 22)
+
+	for _, vet := range vets {
+		srv.Prefetch(vet)
+	}
+	waitFor(t, "speculative evaluations", func() bool {
+		return srv.Stats().SpecBatched == int64(len(vets))
+	})
+
+	// Re-prefetching a resident environment is a no-op.
+	if srv.Prefetch(vets[0]) {
+		t.Fatal("Prefetch re-queued an already-cached environment")
+	}
+
+	for i, vet := range vets {
+		gi, gf, gv := srv.HopEnergies(vet)
+		wi, wf, wv := direct.HopEnergies(vet)
+		if gi != wi || gf != wf || gv != wv {
+			t.Fatalf("system %d: speculatively cached (%v, %v) != direct (%v, %v)", i, gi, gf, wi, wf)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("demand lookups missed despite prefetch: %+v", st.CacheStats)
+	}
+	if st.SpecWarmHits != int64(len(vets)) {
+		t.Fatalf("SpecWarmHits = %d, want %d", st.SpecWarmHits, len(vets))
+	}
+	// Second demand pass: the entries are ordinary now, no double count.
+	for _, vet := range vets {
+		srv.HopEnergies(vet)
+	}
+	if again := srv.Stats().SpecWarmHits; again != int64(len(vets)) {
+		t.Fatalf("SpecWarmHits double-counted: %d", again)
+	}
+	// Histogram invariants: Σ WidthHist == Batches, Σ w·WidthHist ==
+	// BatchedSystems.
+	var n, rows int64
+	for w, c := range st.WidthHist {
+		n += c
+		rows += int64(w) * c
+	}
+	if n != st.Batches || rows != st.BatchedSystems {
+		t.Fatalf("width histogram inconsistent: Σ=%d batches=%d, Σw=%d systems=%d",
+			n, st.Batches, rows, st.BatchedSystems)
+	}
+}
+
+// gatedBackend wraps a backend so the test can hold its worker inside an
+// evaluation: entered signals each EvaluateBatch call, release lets them
+// finish.
+type gatedBackend struct {
+	inner   Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedBackend) Tables() *encoding.Tables { return g.inner.Tables() }
+
+func (g *gatedBackend) EvaluateBatch(vets []encoding.VET) []Result {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.inner.EvaluateBatch(vets)
+}
+
+// TestPrefetchCoalesceAndDrop pins the advisory semantics: duplicate
+// prefetches of an in-flight environment coalesce, a full speculative
+// queue drops instead of blocking, and queued speculation still
+// completes once capacity frees up.
+func TestPrefetchCoalesceAndDrop(t *testing.T) {
+	pot, tb := smallPotential(23)
+	gate := &gatedBackend{
+		inner:   NewFusionBackend(pot, tb, F64),
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+	srv := New(gate, Options{Capacity: 256, MaxBatch: 8, Workers: 1, SpecQueueDepth: 2})
+	vets := sampleVETs(t, tb, 5, 24)
+
+	// Park the only worker inside a demand evaluation so the speculative
+	// queue fills without being drained.
+	demandDone := make(chan struct{})
+	go func() {
+		defer close(demandDone)
+		srv.HopEnergies(vets[0])
+	}()
+	<-gate.entered
+
+	if !srv.Prefetch(vets[1]) {
+		t.Fatal("first prefetch rejected")
+	}
+	if srv.Prefetch(vets[1]) {
+		t.Fatal("duplicate in-flight prefetch not coalesced")
+	}
+	if !srv.Prefetch(vets[2]) {
+		t.Fatal("second distinct prefetch rejected")
+	}
+	if srv.Prefetch(vets[3]) {
+		t.Fatal("prefetch beyond SpecQueueDepth did not drop")
+	}
+
+	close(gate.release)
+	<-demandDone
+	waitFor(t, "queued speculation to complete", func() bool {
+		return srv.Stats().SpecBatched == 2
+	})
+	srv.Close()
+
+	st := srv.Stats()
+	if st.SpecEnqueued != 2 || st.SpecCoalesced != 1 || st.SpecDropped != 1 {
+		t.Fatalf("spec accounting: enqueued=%d coalesced=%d dropped=%d, want 2/1/1",
+			st.SpecEnqueued, st.SpecCoalesced, st.SpecDropped)
+	}
+	if srv.Prefetch(vets[4]) {
+		t.Fatal("Prefetch after Close did not refuse")
+	}
+}
+
+// TestOccupancyP50 checks the median-width readout against hand-built
+// histograms.
+func TestOccupancyP50(t *testing.T) {
+	cases := []struct {
+		hist []int64
+		want int64
+	}{
+		{hist: []int64{0, 10}, want: 1},                     // all width 1
+		{hist: []int64{0, 1, 0, 0, 9}, want: 4},             // one narrow straggler
+		{hist: []int64{0, 5, 5}, want: 1},                   // even split: lower median
+		{hist: []int64{0, 0, 0, 7}, want: 3},                // uniform width 3
+		{hist: []int64{0, 4, 0, 0, 0, 0, 0, 0, 3}, want: 1}, // narrow majority
+	}
+	for i, c := range cases {
+		var batches int64
+		for _, n := range c.hist {
+			batches += n
+		}
+		st := Stats{Batches: batches, WidthHist: c.hist}
+		if got := st.OccupancyP50(); got != c.want {
+			t.Errorf("case %d: p50 = %d, want %d", i, got, c.want)
+		}
+	}
+	if (Stats{}).OccupancyP50() != 0 {
+		t.Error("idle stats should report p50 = 0")
+	}
+}

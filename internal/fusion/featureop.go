@@ -22,7 +22,9 @@ import (
 // state; the sw counters capture the data movement that makes the CPE
 // version ~60× faster than the MPE path on the real machine (Sec. 4.3.1).
 type FeatureOperator struct {
-	Tb  *encoding.Tables
+	// Tb is the shared lattice-geometry encoding (CET/neighbour tables).
+	Tb *encoding.Tables
+	// Tab is the precomputed TABLE of Eq. (6) the features are read from.
 	Tab *feature.Table
 }
 

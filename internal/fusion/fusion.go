@@ -66,7 +66,12 @@ const convIndexOverhead = 1.23
 
 // Result bundles a run's output and its modelled cost.
 type Result struct {
-	Out     nnp.Matrix
+	// Out is the m×1 network output, bit-identical across variants and
+	// worker counts (the contract the wide/streaming kernels must keep).
+	Out nnp.Matrix
+	// Ct are the modelled hardware counters of the run (flops, DMA
+	// bytes, LDM traffic) and Seconds the roofline-modelled time they
+	// imply on the target core group.
 	Ct      sw.Counters
 	Seconds float64
 	// PeakLDM is the high-water scratchpad usage of the most loaded

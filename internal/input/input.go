@@ -224,6 +224,8 @@ func (d *Deck) apply(key string, args []string) error {
 		return nonNegInt(args, &d.Config.EvalBatch)
 	case "eval_workers":
 		return nonNegInt(args, &d.Config.EvalWorkers)
+	case "eval_speculate":
+		return nonNegInt(args, &d.Config.EvalSpeculate)
 	case "eval_f32":
 		if len(args) != 1 {
 			return fmt.Errorf("eval_f32 wants 'on' or 'off'")

@@ -243,18 +243,19 @@ func TestRestartFinishFullState(t *testing.T) {
 
 func TestEvalServiceKeys(t *testing.T) {
 	deck := "cells 4 4 4\nduration 1e-8\n" +
-		"eval_cache 4096\neval_shards 4\neval_batch 16\neval_workers 3\neval_f32 on\n"
+		"eval_cache 4096\neval_shards 4\neval_batch 16\neval_workers 3\neval_f32 on\neval_speculate 3\n"
 	d, err := Parse(strings.NewReader(deck))
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := d.Config
-	if c.EvalCache != 4096 || c.EvalShards != 4 || c.EvalBatch != 16 || c.EvalWorkers != 3 || !c.EvalF32 {
+	if c.EvalCache != 4096 || c.EvalShards != 4 || c.EvalBatch != 16 || c.EvalWorkers != 3 || !c.EvalF32 || c.EvalSpeculate != 3 {
 		t.Fatalf("eval keys misparsed: %+v", c)
 	}
 
 	for name, bad := range map[string]string{
 		"neg cache": "cells 4 4 4\nduration 1\neval_cache -1\n",
+		"neg spec":  "cells 4 4 4\nduration 1\neval_speculate -2\n",
 		"bad f32":   "cells 4 4 4\nduration 1\neval_f32 maybe\n",
 		"no value":  "cells 4 4 4\nduration 1\neval_batch\n",
 	} {

@@ -1,0 +1,109 @@
+package kmc
+
+import (
+	"testing"
+
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// recordingPrefetcher captures every speculated environment by canonical
+// encoding, copying as the Prefetcher contract requires.
+type recordingPrefetcher struct {
+	tb    *encoding.Tables
+	seen  map[string]bool
+	calls int
+}
+
+func (p *recordingPrefetcher) Prefetch(vet encoding.VET) bool {
+	p.calls++
+	p.seen[string(p.tb.EncodeEnv(vet))] = true
+	return true
+}
+
+// spyModel forwards to the real model while reporting every demand
+// evaluation's environment.
+type spyModel struct {
+	inner    Model
+	onDemand func(vet encoding.VET)
+}
+
+func (m *spyModel) Tables() *encoding.Tables { return m.inner.Tables() }
+
+func (m *spyModel) HopEnergies(vet encoding.VET) (float64, [8]float64, [8]bool) {
+	m.onDemand(vet)
+	return m.inner.HopEnergies(vet)
+}
+
+// TestEngineSpeculationBitIdentical: speculation is advisory — an engine
+// with a Prefetcher wired must walk the exact same trajectory as one
+// without.
+func TestEngineSpeculationBitIdentical(t *testing.T) {
+	boxA, modelA := testSetup(t, 10, 0.05, 0.003, 31)
+	boxB, modelB := testSetup(t, 10, 0.05, 0.003, 31)
+	pf := &recordingPrefetcher{tb: modelB.Tables(), seen: map[string]bool{}}
+	plain := NewEngine(boxA, modelA, units.ReactorTemperature, rng.New(32), Options{})
+	spec := NewEngine(boxB, modelB, units.ReactorTemperature, rng.New(32),
+		Options{Speculate: 4, Prefetcher: pf})
+
+	for i := 0; i < 150; i++ {
+		evA, okA := plain.Step(1e300)
+		evB, okB := spec.Step(1e300)
+		if okA != okB || evA != evB {
+			t.Fatalf("trajectories diverged at step %d: %+v vs %+v", i, evA, evB)
+		}
+	}
+	if !boxA.Equal(boxB) {
+		t.Fatal("final lattices differ")
+	}
+	if plain.Time() != spec.Time() {
+		t.Fatal("clocks differ")
+	}
+	if plain.Stats().Speculations != 0 {
+		t.Fatal("engine without a Prefetcher reported speculations")
+	}
+	if spec.Stats().Speculations == 0 || pf.calls == 0 {
+		t.Fatal("speculating engine never called the Prefetcher")
+	}
+	if int64(pf.calls) != spec.Stats().Speculations {
+		t.Fatalf("Speculations stat %d != prefetcher calls %d", spec.Stats().Speculations, pf.calls)
+	}
+}
+
+// TestEngineSpeculationPredictsDemand measures prediction quality: with
+// Speculate = 8 (every open direction) the post-hop environments the
+// engine later demands must overwhelmingly be ones it already handed to
+// the Prefetcher — the property that turns speculation into cache
+// warm-up rather than wasted work.
+func TestEngineSpeculationPredictsDemand(t *testing.T) {
+	box, model := testSetup(t, 10, 0.05, 0.003, 33)
+	tb := model.Tables()
+	pf := &recordingPrefetcher{tb: tb, seen: map[string]bool{}}
+	var demands, predicted int
+	var warmedUp bool
+	spy := &spyModel{inner: model, onDemand: func(vet encoding.VET) {
+		if !warmedUp {
+			return // initial refreshes precede any speculation
+		}
+		demands++
+		if pf.seen[string(tb.EncodeEnv(vet))] {
+			predicted++
+		}
+	}}
+	e := NewEngine(box, spy, units.ReactorTemperature, rng.New(34),
+		Options{Speculate: 8, Prefetcher: pf})
+	e.RunSteps(1)
+	warmedUp = true
+	e.RunSteps(120)
+
+	if demands == 0 {
+		t.Fatal("no demand evaluations observed")
+	}
+	frac := float64(predicted) / float64(demands)
+	t.Logf("speculation predicted %d/%d demand evaluations (%.0f%%), %d prefetches",
+		predicted, demands, 100*frac, pf.calls)
+	if frac < 0.8 {
+		t.Fatalf("prediction hit rate %.2f below 0.8 — speculation is not tracking the demand path", frac)
+	}
+}

@@ -56,6 +56,20 @@ func NewPotential(desc *feature.Descriptor, sizes []int, r *rng.Stream) *Potenti
 // bit-identically.
 func (p *Potential) NormalizeInto(dst, raw []float64) { p.normalizeInto(dst, raw) }
 
+// NormalizeInPlace normalises a raw feature row in place: the same
+// arithmetic as NormalizeInto with dst == raw, so batch assemblers can
+// compute features directly into a fused matrix row and skip the copy.
+// With no normalisation constants (FeatMean nil) it is a no-op, which is
+// exactly what NormalizeInto's copy degenerates to.
+func (p *Potential) NormalizeInPlace(row []float64) {
+	if p.FeatMean == nil {
+		return
+	}
+	for c, v := range row {
+		row[c] = (v - p.FeatMean[c]) / p.FeatStd[c]
+	}
+}
+
 // normalizeInto writes the normalised feature vector into dst.
 func (p *Potential) normalizeInto(dst, raw []float64) {
 	if p.FeatMean == nil {

@@ -56,6 +56,10 @@ const (
 	MetricEvalBatchedSys   = "tkmc_eval_batched_systems_total"
 	MetricEvalDeduped      = "tkmc_eval_deduped_total"
 	MetricEvalQueueHigh    = "tkmc_eval_queue_high_water"
+	MetricEvalSpecEnq      = "tkmc_eval_spec_enqueued_total"
+	MetricEvalSpecDropped  = "tkmc_eval_spec_dropped_total"
+	MetricEvalSpecBatched  = "tkmc_eval_spec_batched_total"
+	MetricEvalSpecWarmHits = "tkmc_eval_spec_warm_hits_total"
 	MetricRecoveryRestores = "tkmc_recovery_restores_total"
 	MetricRecoveryFailures = "tkmc_recovery_failures_total"
 	MetricRecoveryReplays  = "tkmc_recovery_replays_total"

@@ -1,0 +1,82 @@
+// Command benchgate is the CI bench-smoke gate: it reads
+// BENCH_evalserve.json (produced by the evaluation-service benchmarks)
+// and fails if the batching-and-speculation machinery has regressed to
+// its degenerate states —
+//
+//   - mean drained-batch occupancy ≤ 1.5: speculation is no longer
+//     filling batches, so every fused dispatch goes out (nearly) width-1
+//     and the wide-GEMM amortisation is dead weight;
+//   - width-64 fused evaluation slower per system than width-1: the wide
+//     kernel has lost to its own overhead, i.e. batching actively hurts.
+//
+// The thresholds are deliberately loose screens against structural
+// regression, not performance SLOs: CI machines are noisy, so the gate
+// only trips when batching stops working at all, never on ordinary
+// variance. Usage: go run ./scripts/benchgate [report.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Degenerate-state thresholds (see package comment). wideTolerance
+// absorbs shared-runner noise on the width comparison: the wide kernel
+// must at minimum not be slower than width-1 beyond the run-to-run
+// variance band; a genuine regression (streaming pipeline broken, tiles
+// falling out of cache) shows up as 1.5–2× and trips regardless.
+const (
+	minOccupancy  = 1.5
+	wideTolerance = 1.10
+)
+
+func main() {
+	path := "BENCH_evalserve.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("reading report: %v", err)
+	}
+	var report map[string]float64
+	if err := json.Unmarshal(raw, &report); err != nil {
+		fail("parsing %s: %v", path, err)
+	}
+
+	need := func(key string) float64 {
+		v, ok := report[key]
+		if !ok {
+			fail("%s missing %q — run the evalserve benches first "+
+				"(go test -bench 'EvalSpeculativeOccupancy|EvalBatchWidth' -benchtime=1x .)", path, key)
+		}
+		return v
+	}
+
+	occ := need("batch_occupancy_mean")
+	w1 := need("batch_width_1_ns_per_system")
+	w64 := need("batch_width_64_ns_per_system")
+
+	ok := true
+	if occ <= minOccupancy {
+		fmt.Fprintf(os.Stderr, "FAIL: mean batch occupancy %.2f ≤ %.1f — speculative batch filling is not working\n",
+			occ, minOccupancy)
+		ok = false
+	}
+	if w64 >= wideTolerance*w1 {
+		fmt.Fprintf(os.Stderr, "FAIL: width-64 fused evaluation (%.0f ns/system) is slower than width-1 (%.0f ns/system) beyond the %.0f%% noise band\n",
+			w64, w1, 100*(wideTolerance-1))
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate ok: occupancy %.2f (> %.1f), width-64 %.0f ns/system vs width-1 %.0f ns/system (%.2fx, tolerance %.2fx)\n",
+		occ, minOccupancy, w64, w1, w1/w64, wideTolerance)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
