@@ -11,15 +11,27 @@
 //	tkmc-serve [-addr host:port] [-potential eam|bondcount|<nnp-file>]
 //	           [-lattice Å] [-cutoff Å]
 //	           [-cache N] [-shards N] [-batch N] [-workers N] [-f32]
+//	           [-fleet N] [-idle seconds]
 //	           [-telemetry host:port]
 //
 // -telemetry opens the shared observability endpoint (/metrics,
 // /healthz, /events, /debug/pprof — the same mux the tensorkmc runner
 // serves) so a long-lived service is scrapable and profilable.
 //
+// -fleet N runs N independent serve nodes in one process — each with
+// its own listener, cache and worker pool — for testing and
+// single-machine fleets. Ports increment from -addr (with port 0 every
+// node gets its own kernel-picked port); each node prints its own
+// "listening on" banner. Clients shard across the nodes with
+// evalserve.DialFleet or the tensorkmc `eval_fleet` deck key.
+//
+// -idle bounds how long a client session may sit silent before the
+// server reaps the connection (0 = the 2-minute default, negative =
+// never reap).
+//
 // The server prints its bound address on startup (use -addr 127.0.0.1:0
 // to let the kernel pick a port) and, on SIGINT/SIGTERM, drains the
-// worker pool and prints the final service counters.
+// worker pools and prints the final service counters.
 //
 // Exit codes:
 //
@@ -35,7 +47,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
+	"time"
 
 	"tensorkmc/internal/bondcount"
 	"tensorkmc/internal/eam"
@@ -74,8 +88,14 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	batch := fs.Int("batch", 0, "max systems per fused batch (0 = default)")
 	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = default)")
 	f32 := fs.Bool("f32", false, "run fused NNP batches in f32 (not bit-identical to f64)")
+	fleetN := fs.Int("fleet", 1, "independent serve nodes in this process (ports increment from -addr)")
+	idleSecs := fs.Float64("idle", 0, "idle session reap timeout in seconds (0 = default, negative = never)")
 	teleAddr := fs.String("telemetry", "", "telemetry HTTP address (/metrics, /healthz, /events, pprof); empty = off")
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *fleetN < 1 {
+		fmt.Fprintln(stderr, "tkmc-serve: -fleet wants at least one node")
 		return exitUsage
 	}
 
@@ -106,23 +126,74 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 		fmt.Fprintf(stdout, "tkmc-serve: telemetry on http://%s/metrics\n", tsrv.Addr())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(stderr, "tkmc-serve:", err)
-		return exitRuntime
+	feOpts := evalserve.FrontendOptions{}
+	if *idleSecs < 0 {
+		feOpts.IdleTimeout = -1
+	} else if *idleSecs > 0 {
+		feOpts.IdleTimeout = time.Duration(*idleSecs * float64(time.Second))
 	}
-	srv := evalserve.New(be, opts)
-	fe := evalserve.Serve(srv, ln)
-	fmt.Fprintf(stdout, "tkmc-serve: listening on %s (potential %s, a=%g Å, rcut=%g Å, N_all=%d)\n",
-		fe.Addr(), *potName, *latticeA, *cutoff, tb.NAll)
+
+	// Each fleet node is fully independent — its own listener, cache and
+	// worker pool — so killing one (or the whole process holding several)
+	// behaves exactly like losing real machines.
+	srvs := make([]*evalserve.Server, *fleetN)
+	fes := make([]*evalserve.Frontend, *fleetN)
+	for i := 0; i < *fleetN; i++ {
+		nodeBE := be
+		if i > 0 {
+			if nodeBE, err = buildBackend(*potName, tb, opts, *f32); err != nil {
+				fmt.Fprintln(stderr, "tkmc-serve:", err)
+				return exitUsage
+			}
+			if fb, ok := nodeBE.(*evalserve.FusionBackend); ok {
+				fb.SetTelemetry(set)
+			}
+		}
+		nodeAddr, err := fleetAddr(*addr, i)
+		if err != nil {
+			fmt.Fprintln(stderr, "tkmc-serve:", err)
+			return exitUsage
+		}
+		ln, err := net.Listen("tcp", nodeAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "tkmc-serve:", err)
+			return exitRuntime
+		}
+		srvs[i] = evalserve.New(nodeBE, opts)
+		fes[i] = evalserve.ServeOptions(srvs[i], ln, feOpts)
+		fmt.Fprintf(stdout, "tkmc-serve: listening on %s (potential %s, a=%g Å, rcut=%g Å, N_all=%d)\n",
+			fes[i].Addr(), *potName, *latticeA, *cutoff, tb.NAll)
+	}
 	fmt.Fprintf(stdout, "tkmc-serve: cache %d entries × %d shards, batches ≤ %d on %d workers\n",
 		opts.Capacity, opts.Shards, opts.MaxBatch, opts.Workers)
 
 	<-sig
-	fe.Close()
-	srv.Close()
-	fmt.Fprintln(stdout, "tkmc-serve:", srv.Stats().String())
+	for i := range fes {
+		fes[i].Close()
+		srvs[i].Close()
+		fmt.Fprintln(stdout, "tkmc-serve:", srvs[i].Stats().String())
+	}
 	return exitClean
+}
+
+// fleetAddr derives node i's listen address: explicit ports increment
+// per node, port 0 lets the kernel pick one per node.
+func fleetAddr(addr string, i int) (string, error) {
+	if i == 0 {
+		return addr, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("-addr %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("-addr %q: non-numeric port with -fleet > 1", addr)
+	}
+	if port == 0 {
+		return net.JoinHostPort(host, "0"), nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+i)), nil
 }
 
 // buildBackend maps the -potential flag to an evaluation backend over

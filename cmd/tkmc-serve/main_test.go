@@ -252,3 +252,70 @@ func TestServeTelemetryEndpoint(t *testing.T) {
 		t.Fatal("server did not shut down on signal")
 	}
 }
+
+// waitForAddrs polls the startup banners until n nodes have announced.
+func waitForAddrs(t *testing.T, out *syncBuffer, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var addrs []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, "listening on ") {
+				addrs = append(addrs, strings.Fields(line)[3])
+			}
+		}
+		if len(addrs) >= n {
+			return addrs[:n]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("only got %q; output so far:\n%s", out.String(), out.String())
+	return nil
+}
+
+// TestServeFleetNodes boots -fleet 3 in one process, shards a client
+// across the announced nodes, and verifies bit-identical service plus
+// clean three-node shutdown.
+func TestServeFleetNodes(t *testing.T) {
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain(
+			[]string{"-addr", "127.0.0.1:0", "-fleet", "3", "-cutoff", "3.0", "-idle", "30"},
+			out, io.Discard, sig)
+	}()
+	addrs := waitForAddrs(t, out, 3)
+
+	fc, err := evalserve.DialFleet(addrs, units.LatticeConstantFe, 3.0, evalserve.FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := fc.Tables()
+	vets := sampleVETs(tb, 8, 70)
+	first := make([]float64, len(vets))
+	for i, vet := range vets {
+		initial, _, _ := fc.HopEnergies(vet)
+		first[i] = initial
+	}
+	for i, vet := range vets {
+		if initial, _, _ := fc.HopEnergies(vet); initial != first[i] {
+			t.Fatalf("system %d: repeat served %v, first pass %v", i, initial, first[i])
+		}
+	}
+	st := fc.Stats()
+	for addr, up := range st.NodeUp {
+		if !up {
+			t.Fatalf("node %s down in a healthy in-process fleet", addr)
+		}
+	}
+	fc.Close()
+
+	sig <- os.Interrupt
+	if code := <-exit; code != exitClean {
+		t.Fatalf("exit code %d, want %d\n%s", code, exitClean, out.String())
+	}
+	if n := strings.Count(out.String(), "tkmc-serve: evalserve:"); n != 3 {
+		t.Fatalf("want 3 per-node stat reports, got %d:\n%s", n, out.String())
+	}
+}

@@ -114,6 +114,25 @@ type Config struct {
 	// trajectories are bit-identical with it on or off.
 	EvalSpeculate int
 
+	// EvalFleet, when non-empty, routes every energy evaluation through
+	// a remote tkmc-serve fleet: a consistent-hash ring over the
+	// content-addressed environment space shards the key space across
+	// the listed nodes, with per-request deadlines, bounded retry,
+	// failover to ring replicas, and (by default) graceful degradation
+	// to a local evaluator when the whole fleet is unreachable. Because
+	// every node and the local path return bit-identical f64 energies,
+	// none of that machinery can change a trajectory. EvalCache composes:
+	// when both are set, the cache sits client-side in front of the
+	// fleet.
+	EvalFleet []string
+	// EvalRetry is the extra attempts per node before failing over
+	// (0 = fleet default, negative = none). EvalTimeout bounds each wire
+	// interaction (0 = fleet default). EvalFallback enables the local
+	// degradation path; input decks default it ON for fleet runs.
+	EvalRetry    int
+	EvalTimeout  time.Duration
+	EvalFallback bool
+
 	// ExchangeTimeout bounds each parallel sector exchange; on expiry
 	// the sweep aborts with a diagnostic naming the stalled ranks
 	// instead of hanging. Zero means wait forever.
@@ -163,11 +182,12 @@ type Simulation struct {
 	box     *lattice.Box
 	engine  *kmc.Engine // serial path
 	model   kmc.Model
-	mkMod   func() kmc.Model  // per-rank factory for the parallel path
-	evalSrv *evalserve.Server // shared evaluation service (nil unless EvalCache > 0)
-	time    float64           // parallel-path clock
-	hops    int64             // parallel-path hop counter
-	segment uint64            // parallel-path run counter (fresh seeds per segment)
+	mkMod   func() kmc.Model       // per-rank factory for the parallel path
+	evalSrv *evalserve.Server      // shared evaluation service (nil unless EvalCache > 0)
+	fleet   *evalserve.FleetClient // remote evaluation fleet (nil unless EvalFleet set)
+	time    float64                // parallel-path clock
+	hops    int64                  // parallel-path hop counter
+	segment uint64                 // parallel-path run counter (fresh seeds per segment)
 
 	// Telemetry phase handles, nil when telemetry is off. Pre-resolved
 	// in New so every metric family is visible in /metrics (at zero)
@@ -239,6 +259,28 @@ func New(cfg Config) (*Simulation, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown potential kind %d", cfg.Potential)
 	}
+	if len(cfg.EvalFleet) > 0 {
+		fopts := evalserve.FleetOptions{
+			Timeout:   cfg.EvalTimeout,
+			Retries:   cfg.EvalRetry,
+			Seed:      cfg.Seed,
+			Telemetry: cfg.Telemetry,
+		}
+		if cfg.EvalFallback {
+			// The degradation path reuses the locally constructed
+			// evaluator — bit-identical to the fleet's backends, so a
+			// fallback answer is indistinguishable from a served one.
+			fopts.Fallback = s.mkMod()
+		}
+		fleet, err := evalserve.DialFleet(cfg.EvalFleet, cfg.LatticeConstant, cfg.Cutoff, fopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: dialing evaluation fleet: %w", err)
+		}
+		s.fleet = fleet
+		// The fleet client is concurrency-safe; every rank shares it so
+		// identical environments route to the same node's cache.
+		s.mkMod = func() kmc.Model { return fleet }
+	}
 	if cfg.EvalCache > 0 {
 		opts := evalserve.Options{
 			Capacity:  cfg.EvalCache,
@@ -249,7 +291,7 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		opts = opts.WithDefaults()
 		var be evalserve.Backend
-		if cfg.Potential == NNP {
+		if cfg.Potential == NNP && s.fleet == nil {
 			prec := evalserve.F64
 			if cfg.EvalF32 {
 				prec = evalserve.F32
@@ -258,6 +300,9 @@ func New(cfg Config) (*Simulation, error) {
 			fb.SetTelemetry(cfg.Telemetry)
 			be = fb
 		} else {
+			// Non-NNP potentials — and any fleet run, where the remote
+			// nodes do the heavy lifting and the local cache just
+			// deduplicates wire round trips — go through the model pool.
 			be = evalserve.NewModelBackend(s.mkMod, opts.Workers)
 		}
 		s.evalSrv = evalserve.New(be, opts)
@@ -306,7 +351,14 @@ func (s *Simulation) Close() {
 	if s.evalSrv != nil {
 		s.evalSrv.Close()
 	}
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 }
+
+// Fleet exposes the remote evaluation fleet client, nil when EvalFleet
+// is unset — callers use it for membership changes and health stats.
+func (s *Simulation) Fleet() *evalserve.FleetClient { return s.fleet }
 
 // Model returns the configured energy model, exposed so the physics
 // invariant auditor can recompute propensities from scratch.
@@ -442,15 +494,21 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 	defer segSW.Stop()
 	// The rate kernel's corruption tripwires (NaN/Inf propensities or
 	// energies) fire as typed panics; surface them as errors so callers
-	// — in particular the supervisor — see a non-retryable failure. The
-	// parallel path converts them per rank inside sublattice.Run.
+	// — in particular the supervisor — see a non-retryable failure.
+	// Remote-evaluation transport failures panic typed too and become
+	// retryable errors: the supervisor replays the segment from the
+	// shadow checkpoint while the fleet client rides out the outage. The
+	// parallel path converts both per rank inside sublattice.Run.
 	defer func() {
 		if p := recover(); p != nil {
-			ce, ok := p.(*fault.CorruptionError)
-			if !ok {
+			switch e := p.(type) {
+			case *fault.CorruptionError:
+				err = fmt.Errorf("core: aborted: %w", e)
+			case *fault.TransportError:
+				err = fmt.Errorf("core: aborted: %w", e)
+			default:
 				panic(p)
 			}
-			err = fmt.Errorf("core: aborted: %w", ce)
 		}
 	}()
 	if s.engine != nil {

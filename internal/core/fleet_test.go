@@ -1,0 +1,245 @@
+package core
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/eam"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/evalserve"
+	"tensorkmc/internal/feature"
+	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// startServeNodes boots n TCP serve nodes whose backends are
+// bit-identical to the engine's local evaluator for the given config —
+// the invariant the whole fleet design rests on.
+func startServeNodes(t *testing.T, n int, cfg Config) []string {
+	t.Helper()
+	a, rcut := cfg.LatticeConstant, cfg.Cutoff
+	if a == 0 {
+		a = units.LatticeConstantFe
+	}
+	if rcut == 0 {
+		rcut = units.CutoffStandard
+	}
+	tb := encoding.New(a, rcut)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		var be evalserve.Backend
+		switch cfg.Potential {
+		case NNP:
+			be = evalserve.NewFusionBackend(cfg.Net, tb, evalserve.F64)
+		default: // EAM — mirror core.New exactly
+			pot := eam.New(eam.Default())
+			be = evalserve.NewModelBackend(func() kmc.Model {
+				return eam.NewFastRegionEvaluator(pot, tb)
+			}, 2)
+		}
+		srv := evalserve.New(be, evalserve.Options{Capacity: 1 << 12})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe := evalserve.Serve(srv, ln)
+		addrs[i] = fe.Addr().String()
+		killNodes.register(addrs[i], func() { fe.Close() })
+		t.Cleanup(func() { fe.Close(); srv.Close() })
+	}
+	return addrs
+}
+
+// nodeKillRegistry lets a test kill a serve node by address — the
+// "machine dies" primitive of the chaos matrix.
+type nodeKillRegistry struct {
+	mu sync.Mutex
+	m  map[string]func()
+}
+
+var killNodes = &nodeKillRegistry{m: map[string]func(){}}
+
+func (k *nodeKillRegistry) register(addr string, kill func()) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.m[addr] = kill
+}
+
+func (k *nodeKillRegistry) kill(addr string) {
+	k.mu.Lock()
+	kill := k.m[addr]
+	k.mu.Unlock()
+	if kill != nil {
+		kill()
+	}
+}
+
+// chunkedCheckpoint runs the simulation in the given chunks, invoking
+// between(i) after chunk i, and returns the final checkpoint image.
+// Both sides of a comparison must use the same chunking: the parallel
+// engine reseeds per Run segment, so the chunk layout is part of the
+// trajectory's identity.
+func chunkedCheckpoint(t *testing.T, cfg Config, chunks []float64, between func(i int)) []byte {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, d := range chunks {
+		if _, err := s.Run(d, nil); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if between != nil {
+			between(i)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "final.tkmcbox")
+	if err := s.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestFleetChaosMatrix is the tentpole acceptance test: across
+// {serial, parallel} × {EAM, NNP}, a 3-node fleet with one node killed
+// mid-run must produce a final checkpoint byte-identical to the
+// no-fleet, no-fault run. The engine must never observe a panic — only
+// typed errors, retries and failover — and because every node returns
+// exact-f64 energies, the kill can change nothing but wall-clock time.
+func TestFleetChaosMatrix(t *testing.T) {
+	nnpPot := nnp.NewPotential(feature.Standard(units.CutoffStandard), []int{feature.Standard(units.CutoffStandard).Dim(), 12, 1}, rng.New(9))
+	cases := []struct {
+		name   string
+		cfg    Config
+		chunks []float64
+	}{
+		{"serial-eam", Config{
+			Cells: [3]int{10, 10, 10}, CuFraction: 0.0134, VacancyFraction: 0.002, Seed: 42,
+		}, []float64{1e-7, 1e-7}},
+		{"parallel-eam", Config{
+			Cells: [3]int{16, 16, 16}, CuFraction: 0.03, VacancyFraction: 0.001, Seed: 5,
+			Ranks: [3]int{2, 1, 1},
+		}, []float64{2.5e-8, 2.5e-8}},
+		{"serial-nnp", Config{
+			Cells: [3]int{10, 10, 10}, CuFraction: 0.02, VacancyFraction: 0.001, Seed: 11,
+			Potential: NNP, Net: nnpPot,
+		}, []float64{5e-8, 5e-8}},
+		{"parallel-nnp", Config{
+			Cells: [3]int{10, 10, 10}, CuFraction: 0.02, VacancyFraction: 0.001, Seed: 13,
+			Potential: NNP, Net: nnpPot, Ranks: [3]int{2, 1, 1},
+		}, []float64{2e-8, 2e-8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := chunkedCheckpoint(t, tc.cfg, tc.chunks, nil)
+
+			addrs := startServeNodes(t, 3, tc.cfg)
+			cfg := tc.cfg
+			cfg.EvalFleet = addrs
+			cfg.EvalTimeout = 2 * time.Second
+			// No fallback: the surviving replicas alone must absorb the
+			// kill.
+			cfg.EvalFallback = false
+			served := chunkedCheckpoint(t, cfg, tc.chunks, func(i int) {
+				if i == 0 {
+					killNodes.kill(addrs[1])
+				}
+			})
+
+			if !bytes.Equal(baseline, served) {
+				t.Fatal("fleet run with mid-run node kill diverged from the single-process baseline")
+			}
+		})
+	}
+}
+
+// TestFleetAsyncKillBitIdentical kills a node from a goroutine while a
+// chunk is evaluating — the kill lands at an arbitrary point in the
+// request stream, possibly mid-frame, and the checkpoint must still be
+// byte-identical. This is the strongest statement of the degradation
+// contract: WHEN a node dies cannot matter, only that replicas remain.
+func TestFleetAsyncKillBitIdentical(t *testing.T) {
+	cfg := Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.0134, VacancyFraction: 0.002, Seed: 77,
+	}
+	chunks := []float64{2e-7}
+	baseline := chunkedCheckpoint(t, cfg, chunks, nil)
+
+	addrs := startServeNodes(t, 3, cfg)
+	fcfg := cfg
+	fcfg.EvalFleet = addrs
+	fcfg.EvalTimeout = 2 * time.Second
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(3 * time.Millisecond)
+		killNodes.kill(addrs[2])
+	}()
+	served := chunkedCheckpoint(t, fcfg, chunks, nil)
+	wg.Wait()
+
+	if !bytes.Equal(baseline, served) {
+		t.Fatal("asynchronous node kill changed the trajectory")
+	}
+}
+
+// TestFleetLocalFallbackBitIdentical: losing the ENTIRE fleet mid-run
+// must degrade to the local evaluator without changing a byte — the
+// simulation slows down, it does not die, and it does not fork.
+func TestFleetLocalFallbackBitIdentical(t *testing.T) {
+	cfg := Config{
+		Cells: [3]int{10, 10, 10}, CuFraction: 0.0134, VacancyFraction: 0.002, Seed: 21,
+	}
+	chunks := []float64{1e-7, 1e-7}
+	baseline := chunkedCheckpoint(t, cfg, chunks, nil)
+
+	addrs := startServeNodes(t, 1, cfg)
+	fcfg := cfg
+	fcfg.EvalFleet = addrs
+	fcfg.EvalTimeout = time.Second
+	fcfg.EvalRetry = -1 // no per-node retries: fall back fast
+	fcfg.EvalFallback = true
+	served := chunkedCheckpoint(t, fcfg, chunks, func(i int) {
+		if i == 0 {
+			killNodes.kill(addrs[0]) // the whole fleet is gone
+		}
+	})
+
+	if !bytes.Equal(baseline, served) {
+		t.Fatal("local-fallback half of the run diverged from the baseline")
+	}
+
+	// Without a fallback the same outage must surface as a typed error
+	// from Run — never a raw panic through the engine.
+	addrs2 := startServeNodes(t, 1, cfg)
+	ecfg := cfg
+	ecfg.EvalFleet = addrs2
+	ecfg.EvalTimeout = 500 * time.Millisecond
+	ecfg.EvalRetry = -1
+	ecfg.EvalFallback = false
+	s, err := New(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(1e-8, nil); err != nil {
+		t.Fatalf("healthy single-node fleet failed: %v", err)
+	}
+	killNodes.kill(addrs2[0])
+	if _, err := s.Run(1e-7, nil); err == nil {
+		t.Fatal("run with a dead fleet and no fallback reported success")
+	}
+}

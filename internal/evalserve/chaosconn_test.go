@@ -1,0 +1,130 @@
+package evalserve
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a chaos-wrapped writer end and the peer's reader end.
+func pipePair(chaos *ConnChaos) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return chaos.Wrap(a), b
+}
+
+// readAll drains the reader until EOF/close with a deadline guard.
+func readAll(t *testing.T, c net.Conn) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf bytes.Buffer
+	_, err := io.Copy(&buf, c)
+	if err != nil && err != io.EOF && err != io.ErrClosedPipe {
+		// A killed peer surfaces as a closed pipe; anything else is real.
+		if _, ok := err.(net.Error); !ok {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestConnChaosDrop: a dropped write must report success to the writer
+// while the peer sees nothing.
+func TestConnChaosDrop(t *testing.T) {
+	chaos := NewConnChaos(7).WithDrop(1).WithBudget(1)
+	w, r := pipePair(chaos)
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(t, r) }()
+
+	if n, err := w.Write([]byte("vanish")); n != 6 || err != nil {
+		t.Fatalf("dropped write reported n=%d err=%v", n, err)
+	}
+	// Budget spent: the second write must pass through.
+	if _, err := w.Write([]byte("arrive")); err != nil {
+		t.Fatalf("post-budget write failed: %v", err)
+	}
+	w.Close()
+	got := <-done
+	if string(got) != "arrive" {
+		t.Fatalf("peer read %q, want only the post-budget bytes", got)
+	}
+	st := chaos.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("stats %+v, want 1 drop", st)
+	}
+}
+
+// TestConnChaosTruncate: a truncated write must deliver a strict prefix
+// and then kill the connection — the peer reads a cut-short stream.
+func TestConnChaosTruncate(t *testing.T) {
+	chaos := NewConnChaos(3).WithTruncate(1).WithBudget(1)
+	w, r := pipePair(chaos)
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(t, r) }()
+
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	n, err := w.Write(payload)
+	if err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	if n >= len(payload) {
+		t.Fatalf("truncation delivered %d of %d bytes", n, len(payload))
+	}
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("peer read %d bytes, writer reported %d", len(got), n)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write on a killed conn succeeded")
+	}
+	if st := chaos.Stats(); st.Truncated != 1 {
+		t.Fatalf("stats %+v, want 1 truncation", st)
+	}
+}
+
+// TestConnChaosKillAfter: the byte budget must kill the connection
+// mid-stream at a deterministic point.
+func TestConnChaosKillAfter(t *testing.T) {
+	chaos := NewConnChaos(5).WithKillAfter(10)
+	w, r := pipePair(chaos)
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(t, r) }()
+
+	if _, err := w.Write(bytes.Repeat([]byte{1}, 8)); err != nil {
+		t.Fatalf("pre-budget write: %v", err)
+	}
+	n, err := w.Write(bytes.Repeat([]byte{2}, 8)) // crosses the 10-byte line
+	if err == nil {
+		t.Fatal("write across the kill point reported success")
+	}
+	if n != 2 {
+		t.Fatalf("kill point delivered %d extra bytes, want 2", n)
+	}
+	if got := <-done; len(got) != 10 {
+		t.Fatalf("peer read %d bytes, want exactly 10", len(got))
+	}
+	if st := chaos.Stats(); st.Killed != 1 {
+		t.Fatalf("stats %+v, want 1 kill", st)
+	}
+}
+
+// TestConnChaosDeterministic: the same seed must produce the same fault
+// schedule.
+func TestConnChaosDeterministic(t *testing.T) {
+	run := func() ConnChaosStats {
+		chaos := NewConnChaos(11).WithDrop(0.3).WithTruncate(0.2)
+		w, r := pipePair(chaos)
+		go func() { readAll(t, r) }()
+		for i := 0; i < 50; i++ {
+			if _, err := w.Write([]byte("0123456789")); err != nil {
+				break // killed by a truncation — part of the schedule
+			}
+		}
+		w.Close()
+		return chaos.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,116 @@
+package evalserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/units"
+)
+
+// frameBytes wraps a payload in the length-prefixed wire framing.
+func frameBytes(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// fuzzFrontend lazily boots one shared front-end for the server-side
+// dispatch path (the handshake geometry gates real evaluation, so the
+// backend is almost never exercised by fuzz inputs).
+var fuzzFrontend struct {
+	once sync.Once
+	addr string
+}
+
+func fuzzServerAddr(t testing.TB) string {
+	fuzzFrontend.once.Do(func() {
+		pot, tb := smallPotential(50)
+		srv := New(NewFusionBackend(pot, tb, F64), Options{Capacity: 64})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ServeOptions(srv, ln, FrontendOptions{IdleTimeout: 2 * time.Second})
+		fuzzFrontend.addr = ln.Addr().String()
+	})
+	return fuzzFrontend.addr
+}
+
+// FuzzWireFrame throws arbitrary bytes at every wire decode path — the
+// raw frame reader, the result decoder, the server's session loop and
+// the client's handshake — asserting none of them panic or allocate
+// beyond the frame limits. Malformed input must always surface as an
+// error (or a reaped connection), never a crash.
+func FuzzWireFrame(f *testing.F) {
+	// Valid frames of every opcode, so mutation starts near the format.
+	hello := make([]byte, 17)
+	hello[0] = opHello
+	binary.LittleEndian.PutUint64(hello[1:], math.Float64bits(units.LatticeConstantFe))
+	binary.LittleEndian.PutUint64(hello[9:], math.Float64bits(units.CutoffShort))
+	f.Add(frameBytes(hello))
+	f.Add(frameBytes([]byte{opStats}))
+	f.Add(frameBytes(resultFrame(Result{Initial: 1.5, Valid: [8]bool{true}})))
+	f.Add(frameBytes(errorFrame(errGeneric, "boom")))
+	f.Add(frameBytes(errorFrame(errCorruption, "tripwire")))
+	f.Add(frameBytes(append([]byte{opEval}, bytes.Repeat([]byte{1}, 32)...)))
+	f.Add(frameBytes([]byte{opHelloOK, 0, 0, 0, 0}))
+	f.Add([]byte{0, 0, 0, 0})                // empty frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // oversized length prefix
+	f.Add([]byte{4, 0, 0, 0, 1})             // truncated payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw frame reader at both session limits.
+		if p, err := readFrame(bytes.NewReader(data), minFrame); err == nil && len(p) > minFrame {
+			t.Fatalf("readFrame returned %d bytes past its %d limit", len(p), minFrame)
+		}
+		if p, err := readFrame(bytes.NewReader(data), maxStatsFrame); err == nil && len(p) > maxStatsFrame {
+			t.Fatalf("readFrame returned %d bytes past its %d limit", len(p), maxStatsFrame)
+		}
+		// Result decoder.
+		decodeResult(data)
+
+		// Server dispatch: the bytes become a client session. The server
+		// must reply, error out or reap — never crash (a crash here takes
+		// the fuzz process down, which is the assertion).
+		conn, err := net.Dial("tcp", fuzzServerAddr(t))
+		if err != nil {
+			t.Skipf("dial fuzz server: %v", err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write(data)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite() // FIN: the server sees EOF and ends the session fast
+		}
+		drain := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(drain); err != nil {
+				break
+			}
+		}
+		conn.Close()
+
+		// Client handshake decode: a fake server answers the hello with
+		// the fuzz bytes verbatim. Dial must return an error or a client,
+		// never panic.
+		cc, sc := net.Pipe()
+		go func() {
+			sc.SetDeadline(time.Now().Add(2 * time.Second))
+			readFrame(sc, minFrame) // consume the client's hello
+			sc.Write(data)
+			sc.Close()
+		}()
+		dc := DialConfig{
+			Timeout: time.Second,
+			Dialer:  func(string) (net.Conn, error) { return cc, nil },
+		}
+		if cl, err := dc.Dial("pipe", units.LatticeConstantFe, units.CutoffShort); err == nil {
+			cl.Close()
+		}
+	})
+}

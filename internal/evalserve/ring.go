@@ -1,0 +1,133 @@
+package evalserve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over serve-node addresses: the routing
+// table of the distributed evaluation fleet. Each node contributes a
+// fixed set of virtual points derived only from its address, so the
+// mapping from a request's content-address hash to its owning node is a
+// pure function of the node set — every client that knows the same
+// addresses routes identically, with no coordination service. Adding or
+// removing one node remaps only the keys that node owned (plus the
+// 1/N slice its points covered), which is what keeps a join/leave from
+// stampeding every cache.
+//
+// A Ring is immutable after construction; the FleetClient swaps whole
+// rings on membership changes.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the index (into nodes) of the owner.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// DefaultVNodes is the virtual-point count per node when RingVNodes is
+// zero: enough that a 3-node fleet's ownership imbalance stays within a
+// few percent, cheap enough that ring construction is negligible.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the given node addresses with vnodes
+// virtual points each (vnodes <= 0 takes DefaultVNodes). Duplicate
+// addresses are collapsed; node order does not affect the mapping.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv1a(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.node < q.node // total order: ties cannot flip with vnode count
+	})
+	return r
+}
+
+// fnv1a is the 64-bit FNV-1a of s — the same family the VET
+// content-address uses, applied to virtual-node labels.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Nodes returns the member addresses in canonical (sorted) order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Order appends to dst the indices of every distinct node in ring order
+// starting at the successor of hash: dst[0] is the key's owner, the
+// rest are its failover replicas in deterministic preference order. The
+// returned slice aliases dst's backing array when capacity allows.
+func (r *Ring) Order(hash uint64, dst []int) []int {
+	dst = dst[:0]
+	if len(r.points) == 0 {
+		return dst
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	seen := 0
+	for i := 0; i < len(r.points) && seen < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		dup := false
+		for _, n := range dst {
+			if n == p.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p.node)
+			seen++
+		}
+	}
+	return dst
+}
+
+// Node returns the address at index i (as used by Order).
+func (r *Ring) Node(i int) string { return r.nodes[i] }
+
+// Owner returns the address owning the given key hash ("" on an empty
+// ring) — the single-lookup convenience over Order.
+func (r *Ring) Owner(hash uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	return r.nodes[r.points[start%len(r.points)].node]
+}

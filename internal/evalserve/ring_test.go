@@ -1,0 +1,114 @@
+package evalserve
+
+import (
+	"testing"
+
+	"tensorkmc/internal/rng"
+)
+
+// TestRingDeterministic: the mapping must be a pure function of the
+// node set — same members (in any order) ⇒ same owner and same failover
+// order for every key.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n2:2"}, 0)
+	r := rng.New(77)
+	var oa, ob []int
+	for i := 0; i < 2000; i++ {
+		h := r.Uint64()
+		oa = a.Order(h, oa)
+		ob = b.Order(h, ob)
+		if len(oa) != 3 || len(ob) != 3 {
+			t.Fatalf("order lengths %d/%d, want 3", len(oa), len(ob))
+		}
+		for k := range oa {
+			if a.Node(oa[k]) != b.Node(ob[k]) {
+				t.Fatalf("key %#x: order diverges between equivalent rings", h)
+			}
+		}
+	}
+}
+
+// TestRingBalance: ownership over a random key population must be
+// roughly even — no node may own more than twice the fair share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3", "d:4"}
+	ring := NewRing(nodes, 0)
+	counts := map[string]int{}
+	r := rng.New(99)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(r.Uint64())]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c > 2*fair || c < fair/2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d)", n, c, keys, fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderLeave: removing one node must only remap keys
+// that node owned — every other key keeps its owner (the consistent-hash
+// property that makes join/leave cheap for the caches).
+func TestRingStabilityUnderLeave(t *testing.T) {
+	full := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	sans := NewRing([]string{"a:1", "c:3"}, 0)
+	r := rng.New(41)
+	remapped := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		h := r.Uint64()
+		was, now := full.Owner(h), sans.Owner(h)
+		if was == "b:2" {
+			remapped++
+			continue // b's keys must move somewhere
+		}
+		if was != now {
+			t.Fatalf("key %#x moved %s -> %s though its owner stayed in the ring", h, was, now)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("removed node owned no keys — degenerate ring")
+	}
+}
+
+// TestRingFailoverOrder: Order must start with the owner, list every
+// distinct node exactly once, and agree with Owner.
+func TestRingFailoverOrder(t *testing.T) {
+	ring := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	r := rng.New(13)
+	var order []int
+	for i := 0; i < 1000; i++ {
+		h := r.Uint64()
+		order = ring.Order(h, order)
+		if len(order) != ring.Len() {
+			t.Fatalf("order has %d nodes, ring has %d", len(order), ring.Len())
+		}
+		if ring.Node(order[0]) != ring.Owner(h) {
+			t.Fatalf("key %#x: Order[0]=%s but Owner=%s", h, ring.Node(order[0]), ring.Owner(h))
+		}
+		seen := map[int]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("key %#x: node %d listed twice", h, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingEmpty: the degenerate rings must not panic.
+func TestRingEmpty(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Order(42, nil); len(got) != 0 {
+		t.Fatalf("empty ring returned order %v", got)
+	}
+	if owner := empty.Owner(42); owner != "" {
+		t.Fatalf("empty ring owner %q", owner)
+	}
+	one := NewRing([]string{"solo:1"}, 4)
+	if got := one.Order(42, nil); len(got) != 1 || one.Node(got[0]) != "solo:1" {
+		t.Fatalf("single-node ring order %v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/fault"
@@ -120,13 +121,38 @@ func decodeResult(p []byte) (Result, error) {
 
 // --- Server side --------------------------------------------------------
 
+// FrontendOptions tune a front-end's connection hygiene. The defaults
+// protect the server: a half-open or silent client used to pin its
+// handler goroutine and session buffers forever, so idle reaping is on
+// unless explicitly disabled.
+type FrontendOptions struct {
+	// IdleTimeout bounds how long a session may sit between frames
+	// before the server reaps the connection (default 2m; negative
+	// disables reaping).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write, so a client that stops
+	// reading cannot wedge a handler on a full socket buffer (default
+	// 30s; negative disables).
+	WriteTimeout time.Duration
+}
+
+func (o *FrontendOptions) applyDefaults() {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+}
+
 // Frontend exposes a Server over TCP (or any net.Listener). Each accepted
 // connection is one independent client session; the shared Server behind
 // it is what makes cross-client deduplication and batching happen.
 type Frontend struct {
-	srv *Server
-	ln  net.Listener
-	wg  sync.WaitGroup
+	srv  *Server
+	ln   net.Listener
+	opts FrontendOptions
+	wg   sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -134,11 +160,18 @@ type Frontend struct {
 }
 
 // Serve starts accepting wire-protocol sessions on the listener, serving
-// them from srv. It returns immediately; Close shuts the front-end down.
-// The Frontend does not own srv — closing the Frontend leaves the Server
-// (and its in-process callers) running.
+// them from srv with default connection hygiene. It returns immediately;
+// Close shuts the front-end down. The Frontend does not own srv —
+// closing the Frontend leaves the Server (and its in-process callers)
+// running.
 func Serve(srv *Server, ln net.Listener) *Frontend {
-	f := &Frontend{srv: srv, ln: ln, conns: map[net.Conn]struct{}{}}
+	return ServeOptions(srv, ln, FrontendOptions{})
+}
+
+// ServeOptions is Serve with explicit connection-hygiene options.
+func ServeOptions(srv *Server, ln net.Listener, opts FrontendOptions) *Frontend {
+	opts.applyDefaults()
+	f := &Frontend{srv: srv, ln: ln, opts: opts, conns: map[net.Conn]struct{}{}}
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f
@@ -195,19 +228,35 @@ func (f *Frontend) Close() error {
 	return err
 }
 
-// handle runs one client session to completion.
+// handle runs one client session to completion. Every frame read is
+// armed with the idle deadline and every reply write with the write
+// deadline, so a half-open peer expires instead of pinning the handler
+// goroutine and its buffers forever.
 func (f *Frontend) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	tb := f.srv.Tables()
 
+	armRead := func() {
+		if f.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+		}
+	}
+	armWrite := func() {
+		if f.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		}
+	}
+
 	fail := func(kind byte, msg string) {
+		armWrite()
 		writeFrame(w, errorFrame(kind, msg))
 		w.Flush()
 	}
 
 	// The session opens with a hello declaring the client's geometry.
+	armRead()
 	p, err := readFrame(r, minFrame)
 	if err != nil {
 		return
@@ -225,6 +274,7 @@ func (f *Frontend) handle(conn net.Conn) {
 	ok := make([]byte, 5)
 	ok[0] = opHelloOK
 	binary.LittleEndian.PutUint32(ok[1:], uint32(tb.NAll))
+	armWrite()
 	if err := writeFrame(w, ok); err != nil {
 		return
 	}
@@ -238,9 +288,10 @@ func (f *Frontend) handle(conn net.Conn) {
 		limit = minFrame
 	}
 	for {
+		armRead()
 		p, err := readFrame(r, limit)
 		if err != nil {
-			return // disconnect or oversized frame
+			return // disconnect, idle expiry, or oversized frame
 		}
 		switch p[0] {
 		case opEval:
@@ -261,6 +312,7 @@ func (f *Frontend) handle(conn net.Conn) {
 				}
 				continue // corruption: report, let the client decide
 			}
+			armWrite()
 			if err := writeFrame(w, resultFrame(res)); err != nil {
 				return
 			}
@@ -273,6 +325,7 @@ func (f *Frontend) handle(conn net.Conn) {
 			out := make([]byte, 1+len(js))
 			out[0] = opStatsOK
 			copy(out[1:], js)
+			armWrite()
 			if err := writeFrame(w, out); err != nil {
 				return
 			}
@@ -288,58 +341,103 @@ func (f *Frontend) handle(conn net.Conn) {
 
 // --- Client side --------------------------------------------------------
 
+// DialConfig tunes a wire client beyond the required geometry. The zero
+// value reproduces the pre-fleet behaviour: plain net.Dial, no
+// deadlines.
+type DialConfig struct {
+	// Timeout bounds every wire interaction — the dial, the hello
+	// exchange, and each later request/reply round trip. On expiry the
+	// request fails with a *fault.TransportError and the session is
+	// marked broken (a late reply would desynchronise the
+	// request/reply stream). Zero means no deadline.
+	Timeout time.Duration
+	// Dialer replaces the TCP dial — the hook through which tests
+	// interpose ConnChaos faults. Nil means net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
+}
+
 // Client is a wire-protocol connection to a tkmc-serve front-end. It
 // implements kmc.Model, so an engine can be pointed at a remote
 // evaluation service exactly as it would at an in-process potential. One
 // Client serializes its requests (the session is a simple request/reply
 // stream); open several Clients for concurrency — the server coalesces
 // and deduplicates across all of them.
+//
+// Any transport failure — including a deadline expiry — marks the
+// session broken: the request/reply framing can no longer be trusted,
+// so every later call fails fast with a *fault.TransportError and the
+// owner must redial (the FleetClient does this automatically).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	tb   *encoding.Tables
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	tb      *encoding.Tables
+	addr    string
+	timeout time.Duration
+	broken  bool
 }
 
 // Dial connects to a front-end and performs the hello handshake for the
 // given lattice geometry. The returned Client's Tables are constructed
 // locally — the handshake guarantees they match the server's.
 func Dial(addr string, a, rcut float64) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig{}.Dial(addr, a, rcut)
+}
+
+// Dial connects with the config's deadlines and dialer. Transport
+// failures — including the handshake timing out — return a
+// *fault.TransportError; a geometry refusal by the server returns a
+// plain (non-retryable) error.
+func (dc DialConfig) Dial(addr string, a, rcut float64) (*Client, error) {
+	dial := dc.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			if dc.Timeout > 0 {
+				return net.DialTimeout("tcp", addr, dc.Timeout)
+			}
+			return net.Dial("tcp", addr)
+		}
+	}
+	conn, err := dial(addr)
 	if err != nil {
-		return nil, err
+		return nil, &fault.TransportError{Op: "dial", Addr: addr, Err: err}
 	}
 	c := &Client{
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		w:    bufio.NewWriter(conn),
-		tb:   encoding.New(a, rcut),
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		tb:      encoding.New(a, rcut),
+		addr:    addr,
+		timeout: dc.Timeout,
 	}
+	c.arm()
 	hello := make([]byte, 17)
 	hello[0] = opHello
 	binary.LittleEndian.PutUint64(hello[1:], math.Float64bits(a))
 	binary.LittleEndian.PutUint64(hello[9:], math.Float64bits(rcut))
 	if err := writeFrame(c.w, hello); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, &fault.TransportError{Op: "hello", Addr: addr, Err: err}
 	}
 	if err := c.w.Flush(); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, &fault.TransportError{Op: "hello", Addr: addr, Err: err}
 	}
 	p, err := readFrame(c.r, maxStatsFrame)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, &fault.TransportError{Op: "hello", Addr: addr, Err: err}
 	}
+	c.disarm()
 	if p[0] == opError {
 		conn.Close()
 		return nil, fmt.Errorf("evalserve: server refused hello: %s", p[2:])
 	}
 	if len(p) != 5 || p[0] != opHelloOK {
 		conn.Close()
-		return nil, errors.New("evalserve: malformed hello reply")
+		return nil, &fault.TransportError{Op: "hello", Addr: addr,
+			Err: errors.New("evalserve: malformed hello reply")}
 	}
 	if n := int(binary.LittleEndian.Uint32(p[1:])); n != c.tb.NAll {
 		conn.Close()
@@ -348,17 +446,70 @@ func Dial(addr string, a, rcut float64) (*Client, error) {
 	return c, nil
 }
 
+// arm sets the connection deadline for one wire interaction (no-op
+// without a configured timeout).
+func (c *Client) arm() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// disarm clears the interaction deadline.
+func (c *Client) disarm() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// fail marks the session broken and wraps the failure (mu held).
+func (c *Client) fail(op string, err error) *fault.TransportError {
+	c.broken = true
+	c.conn.Close()
+	return &fault.TransportError{Op: op, Addr: c.addr, Err: err}
+}
+
 // Tables returns the locally reconstructed encoding tables (kmc.Model).
 func (c *Client) Tables() *encoding.Tables { return c.tb }
+
+// Addr returns the remote endpoint this session was dialed to.
+func (c *Client) Addr() string { return c.addr }
 
 // Close ends the session.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.broken = true
 	return c.conn.Close()
 }
 
+// roundTrip sends one request frame and returns the reply payload,
+// arming the per-request deadline and converting every transport
+// failure into a session-breaking typed error (mu held by caller).
+func (c *Client) roundTrip(op string, req []byte) ([]byte, error) {
+	if c.broken {
+		return nil, &fault.TransportError{Op: op, Addr: c.addr,
+			Err: errors.New("evalserve: session broken by an earlier transport failure")}
+	}
+	c.arm()
+	defer c.disarm()
+	if err := writeFrame(c.w, req); err != nil {
+		return nil, c.fail(op, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(op, err)
+	}
+	p, err := readFrame(c.r, maxStatsFrame)
+	if err != nil {
+		return nil, c.fail(op, err)
+	}
+	return p, nil
+}
+
 // Evaluate submits one vacancy system and returns the exact f64 result.
+// Transport failures (connection loss, deadline expiry, truncated or
+// malformed frames) come back as *fault.TransportError — retryable, by
+// the idempotency of the content-addressed protocol; corruption reported
+// by the server comes back as *fault.CorruptionError — not retryable.
 func (c *Client) Evaluate(vet encoding.VET) (Result, error) {
 	if len(vet) != c.tb.NAll {
 		return Result{}, fmt.Errorf("evalserve: VET length %d, want %d", len(vet), c.tb.NAll)
@@ -369,13 +520,7 @@ func (c *Client) Evaluate(vet encoding.VET) (Result, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.w, req); err != nil {
-		return Result{}, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return Result{}, err
-	}
-	p, err := readFrame(c.r, maxStatsFrame)
+	p, err := c.roundTrip("eval", req)
 	if err != nil {
 		return Result{}, err
 	}
@@ -385,36 +530,50 @@ func (c *Client) Evaluate(vet encoding.VET) (Result, error) {
 		}
 		return Result{}, fmt.Errorf("evalserve: server error: %s", p[2:])
 	}
-	return decodeResult(p)
+	res, err := decodeResult(p)
+	if err != nil {
+		// A garbled result frame is a transport-integrity failure (e.g.
+		// chaos truncation), not a server decision: break the session so
+		// the owner redials instead of trusting a desynced stream.
+		return Result{}, c.fail("eval", err)
+	}
+	return res, nil
 }
 
 // HopEnergies implements kmc.Model over the wire. Corruption reported by
 // the server re-panics as *fault.CorruptionError, preserving engine-layer
-// recovery; transport failures panic plainly (an engine cannot continue
-// without its potential).
+// recovery; every other failure — transport loss, deadline expiry, a
+// server-side refusal — panics as *fault.TransportError, which the
+// engine layers convert into a typed, retryable error for the
+// supervisor (instead of the opaque panic this path used to raise).
 func (c *Client) HopEnergies(vet encoding.VET) (initial float64, final [8]float64, valid [8]bool) {
 	res, err := c.Evaluate(vet)
 	if err != nil {
-		var ce *fault.CorruptionError
-		if errors.As(err, &ce) {
-			panic(ce)
-		}
-		panic(err)
+		panic(asEnginePanic(err, c.addr))
 	}
 	return res.Initial, res.Final, res.Valid
+}
+
+// asEnginePanic shapes an evaluation error for the engine recovery
+// layers: corruption stays corruption, anything else becomes a typed
+// transport failure.
+func asEnginePanic(err error, addr string) error {
+	var ce *fault.CorruptionError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	var te *fault.TransportError
+	if errors.As(err, &te) {
+		return te
+	}
+	return &fault.TransportError{Op: "eval", Addr: addr, Err: err}
 }
 
 // ServerStats fetches the service counters over the wire.
 func (c *Client) ServerStats() (Stats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.w, []byte{opStats}); err != nil {
-		return Stats{}, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return Stats{}, err
-	}
-	p, err := readFrame(c.r, maxStatsFrame)
+	p, err := c.roundTrip("stats", []byte{opStats})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -422,7 +581,7 @@ func (c *Client) ServerStats() (Stats, error) {
 		return Stats{}, fmt.Errorf("evalserve: server error: %s", p[2:])
 	}
 	if p[0] != opStatsOK {
-		return Stats{}, errors.New("evalserve: malformed stats reply")
+		return Stats{}, c.fail("stats", errors.New("evalserve: malformed stats reply"))
 	}
 	var st Stats
 	if err := json.Unmarshal(p[1:], &st); err != nil {

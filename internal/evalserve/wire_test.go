@@ -1,13 +1,19 @@
 package evalserve
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
+	"io"
 	"math"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/fault"
 	"tensorkmc/internal/nnp"
 	"tensorkmc/internal/units"
 )
@@ -204,5 +210,87 @@ func TestWireFrameEncoding(t *testing.T) {
 	}
 	if math.Float64bits(got.Initial) != math.Float64bits(res.Initial) || got.Final != res.Final || got.Valid != res.Valid {
 		t.Fatalf("result frame round-trip: %+v != %+v", got, res)
+	}
+}
+
+// TestWireIdleReap: a session that goes silent must be reaped by the
+// server's idle deadline — the connection closes instead of pinning a
+// handler goroutine forever.
+func TestWireIdleReap(t *testing.T) {
+	pot, tb := smallPotential(60)
+	srv := New(NewFusionBackend(pot, tb, F64), Options{Capacity: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := ServeOptions(srv, ln, FrontendOptions{IdleTimeout: 50 * time.Millisecond})
+	t.Cleanup(func() { fe.Close(); srv.Close() })
+
+	cl, err := Dial(ln.Addr().String(), units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Go silent: the server must close the session within its idle
+	// budget, which the next request observes as a transport error.
+	time.Sleep(300 * time.Millisecond)
+	vets := sampleVETs(t, cl.Tables(), 1, 61)
+	if _, err := cl.Evaluate(vets[0]); err == nil {
+		t.Fatal("request on a reaped session succeeded")
+	} else {
+		var te *fault.TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("reaped session error not typed: %v", err)
+		}
+	}
+}
+
+// TestWireClientTimeout: a server that accepts the session but never
+// answers a request must trip the client's deadline — a typed, prompt
+// transport error, and a broken session that fails fast afterwards.
+func TestWireClientTimeout(t *testing.T) {
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffShort)
+	cc, sc := net.Pipe()
+	go func() { // fake server: handshake, then silence
+		sc.SetDeadline(time.Now().Add(5 * time.Second))
+		readFrame(sc, minFrame)
+		ok := make([]byte, 5)
+		ok[0] = opHelloOK
+		binary.LittleEndian.PutUint32(ok[1:], uint32(tb.NAll))
+		w := bufio.NewWriter(sc)
+		writeFrame(w, ok)
+		w.Flush()
+		io.Copy(io.Discard, sc) // swallow the request, never reply
+	}()
+	dc := DialConfig{
+		Timeout: 100 * time.Millisecond,
+		Dialer:  func(string) (net.Conn, error) { return cc, nil },
+	}
+	cl, err := dc.Dial("pipe", units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	defer cl.Close()
+
+	vets := sampleVETs(t, cl.Tables(), 1, 62)
+	start := time.Now()
+	_, err = cl.Evaluate(vets[0])
+	if err == nil {
+		t.Fatal("request against a silent server succeeded")
+	}
+	var te *fault.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("timeout error not typed: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+	// The session is broken: the next call must fail fast, not hang.
+	start = time.Now()
+	if _, err := cl.Evaluate(vets[0]); err == nil {
+		t.Fatal("request on a broken session succeeded")
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("broken session did not fail fast (%v)", d)
 	}
 }

@@ -42,6 +42,30 @@ func (e *CorruptionError) Error() string {
 	return fmt.Sprintf("fault: numerical corruption in %s: %s", e.Subsystem, e.Detail)
 }
 
+// TransportError reports a failed network interaction with a remote
+// service: a refused or dropped connection, a read/write deadline
+// expiry, a truncated frame. It is the transient counterpart of
+// CorruptionError — the remote state machine is fine, only the path to
+// it failed — so supervisors and clients must treat it as retryable:
+// the evaluation protocol is idempotent (content-addressed requests,
+// exact-f64 deterministic replies), which makes resending a request
+// after reconnect or failing over to a replica always safe.
+type TransportError struct {
+	// Op names the failed interaction ("dial", "hello", "eval", "stats").
+	Op string
+	// Addr is the remote endpoint.
+	Addr string
+	// Err is the underlying transport failure.
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("fault: transport %s to %s failed: %v", e.Op, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As chains.
+func (e *TransportError) Unwrap() error { return e.Err }
+
 // WriteFileAtomic writes a file durably: write streams the content into
 // a temporary file in the destination directory, which is fsynced,
 // closed, and atomically renamed over path. If backup is true and path

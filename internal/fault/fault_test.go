@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -111,5 +112,27 @@ func TestWriterPartialThenFail(t *testing.T) {
 	fw2 := &Writer{W: io.Discard, Limit: 0, Err: custom}
 	if _, err := fw2.Write([]byte("x")); !errors.Is(err, custom) {
 		t.Fatalf("custom error not propagated: %v", err)
+	}
+}
+
+func TestTransportErrorClassification(t *testing.T) {
+	inner := errors.New("connection reset by peer")
+	var err error = &TransportError{Op: "eval", Addr: "10.0.0.7:7865", Err: inner}
+	if !errors.Is(err, inner) {
+		t.Fatal("TransportError does not unwrap to the underlying failure")
+	}
+	var te *TransportError
+	if !errors.As(fmt.Errorf("core: aborted: %w", err), &te) {
+		t.Fatal("wrapped TransportError not recoverable with errors.As")
+	}
+	if te.Op != "eval" || te.Addr != "10.0.0.7:7865" {
+		t.Fatalf("fields lost through wrapping: %+v", te)
+	}
+	var ce *CorruptionError
+	if errors.As(err, &ce) {
+		t.Fatal("a transport failure must never classify as corruption")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "eval") || !strings.Contains(msg, "10.0.0.7:7865") {
+		t.Fatalf("message omits op or address: %q", msg)
 	}
 }

@@ -21,6 +21,10 @@
 //	audit_every  5
 //	exchange_timeout 30
 //	eval_cache   32768   # opt-in shared evaluation service (entries)
+//	eval_fleet   10.0.0.1:7077 10.0.0.2:7077   # remote evaluation fleet
+//	eval_retry   2       # extra attempts per node before failover
+//	eval_timeout 5       # per-request wire deadline (seconds)
+//	eval_fallback on     # local evaluation when the fleet is gone
 package input
 
 import (
@@ -74,6 +78,11 @@ type Deck struct {
 	// EventLog, if set, receives the flight-recorder event journal as
 	// JSONL when the run exits — on every exit path, including crashes.
 	EventLog string
+
+	// evalFallbackSet records an explicit 'eval_fallback' line, so Parse
+	// can default fallback ON for fleet runs without overriding the
+	// user's choice (key order in the deck must not matter).
+	evalFallbackSet bool
 }
 
 // Parse reads a deck from r.
@@ -108,6 +117,15 @@ func Parse(r io.Reader) (*Deck, error) {
 	}
 	if d.CheckpointEvery > 0 && d.CheckpointFile == "" {
 		return nil, fmt.Errorf("input: 'checkpoint_every' requires 'checkpoint'")
+	}
+	if len(d.Config.EvalFleet) == 0 {
+		if d.Config.EvalRetry != 0 || d.Config.EvalTimeout > 0 || d.evalFallbackSet {
+			return nil, fmt.Errorf("input: 'eval_retry', 'eval_timeout' and 'eval_fallback' require 'eval_fleet'")
+		}
+	} else if !d.evalFallbackSet {
+		// Graceful degradation is the default for fleet runs: losing the
+		// whole fleet should slow a simulation down, not kill it.
+		d.Config.EvalFallback = true
 	}
 	return d, nil
 }
@@ -218,6 +236,43 @@ func (d *Deck) apply(key string, args []string) error {
 		d.Config.ExchangeTimeout = time.Duration(secs * float64(time.Second))
 	case "eval_cache":
 		return nonNegInt(args, &d.Config.EvalCache)
+	case "eval_fleet":
+		if len(args) < 1 {
+			return fmt.Errorf("eval_fleet wants one or more host:port addresses")
+		}
+		d.Config.EvalFleet = append([]string(nil), args...)
+	case "eval_retry":
+		if err := nonNegInt(args, &d.Config.EvalRetry); err != nil {
+			return err
+		}
+		if d.Config.EvalRetry == 0 {
+			// An explicit zero means "no retries"; the config encodes
+			// that as negative so the zero value can keep meaning "fleet
+			// default".
+			d.Config.EvalRetry = -1
+		}
+	case "eval_timeout":
+		var secs float64
+		if err := float1(args, &secs); err != nil {
+			return err
+		}
+		if secs <= 0 {
+			return fmt.Errorf("eval_timeout wants a positive wall-clock interval in seconds")
+		}
+		d.Config.EvalTimeout = time.Duration(secs * float64(time.Second))
+	case "eval_fallback":
+		if len(args) != 1 {
+			return fmt.Errorf("eval_fallback wants 'on' or 'off'")
+		}
+		switch strings.ToLower(args[0]) {
+		case "on", "true", "1":
+			d.Config.EvalFallback = true
+		case "off", "false", "0":
+			d.Config.EvalFallback = false
+		default:
+			return fmt.Errorf("invalid eval_fallback %q", args[0])
+		}
+		d.evalFallbackSet = true
 	case "eval_shards":
 		return nonNegInt(args, &d.Config.EvalShards)
 	case "eval_batch":

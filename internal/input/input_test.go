@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/lattice"
@@ -258,6 +259,60 @@ func TestEvalServiceKeys(t *testing.T) {
 		"neg spec":  "cells 4 4 4\nduration 1\neval_speculate -2\n",
 		"bad f32":   "cells 4 4 4\nduration 1\neval_f32 maybe\n",
 		"no value":  "cells 4 4 4\nduration 1\neval_batch\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEvalFleetKeys(t *testing.T) {
+	deck := "cells 4 4 4\nduration 1e-8\n" +
+		"eval_fleet 10.0.0.1:7077 10.0.0.2:7077\neval_retry 3\neval_timeout 2.5\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Config
+	if len(c.EvalFleet) != 2 || c.EvalFleet[0] != "10.0.0.1:7077" || c.EvalFleet[1] != "10.0.0.2:7077" {
+		t.Fatalf("eval_fleet misparsed: %+v", c.EvalFleet)
+	}
+	if c.EvalRetry != 3 {
+		t.Fatalf("eval_retry misparsed: %d", c.EvalRetry)
+	}
+	if c.EvalTimeout != 2500*time.Millisecond {
+		t.Fatalf("eval_timeout misparsed: %v", c.EvalTimeout)
+	}
+	if !c.EvalFallback {
+		t.Fatal("fleet run did not default eval_fallback on")
+	}
+
+	// Explicit off must stick regardless of key order.
+	d, err = Parse(strings.NewReader("eval_fallback off\ncells 4 4 4\nduration 1\neval_fleet a:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.EvalFallback {
+		t.Fatal("explicit eval_fallback off was overridden")
+	}
+
+	// An explicit zero retry budget means none, not "default".
+	d, err = Parse(strings.NewReader("cells 4 4 4\nduration 1\neval_fleet a:1\neval_retry 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.EvalRetry >= 0 {
+		t.Fatalf("eval_retry 0 parsed as %d, want negative (disabled)", d.Config.EvalRetry)
+	}
+
+	for name, bad := range map[string]string{
+		"fleet no addr":       "cells 4 4 4\nduration 1\neval_fleet\n",
+		"retry sans fleet":    "cells 4 4 4\nduration 1\neval_retry 2\n",
+		"timeout sans fleet":  "cells 4 4 4\nduration 1\neval_timeout 5\n",
+		"fallback sans fleet": "cells 4 4 4\nduration 1\neval_fallback on\n",
+		"neg retry":           "cells 4 4 4\nduration 1\neval_fleet a:1\neval_retry -1\n",
+		"zero timeout":        "cells 4 4 4\nduration 1\neval_fleet a:1\neval_timeout 0\n",
+		"bad fallback":        "cells 4 4 4\nduration 1\neval_fleet a:1\neval_fallback maybe\n",
 	} {
 		if _, err := Parse(strings.NewReader(bad)); err == nil {
 			t.Errorf("%s: expected error", name)

@@ -130,11 +130,16 @@ func Run(box *lattice.Box, cfg Config, duration float64, factory func() kmc.Mode
 		// released by their ExchangeTimeout.
 		defer func() {
 			if p := recover(); p != nil {
-				if ce, ok := p.(*fault.CorruptionError); ok {
-					errs[c.Rank()] = ce
-					return
+				switch e := p.(type) {
+				case *fault.CorruptionError:
+					errs[c.Rank()] = e
+				case *fault.TransportError:
+					// Remote evaluation failed past its retry budget:
+					// retryable — the supervisor replays the segment.
+					errs[c.Rank()] = e
+				default:
+					panic(p)
 				}
-				panic(p)
 			}
 		}()
 		r := newRank(c, box, cfg, factory())

@@ -60,6 +60,11 @@ const (
 	MetricEvalSpecDropped  = "tkmc_eval_spec_dropped_total"
 	MetricEvalSpecBatched  = "tkmc_eval_spec_batched_total"
 	MetricEvalSpecWarmHits = "tkmc_eval_spec_warm_hits_total"
+	MetricFleetRetries     = "tkmc_fleet_retries_total"
+	MetricFleetFailovers   = "tkmc_fleet_failovers_total"
+	MetricFleetFallbacks   = "tkmc_fleet_fallbacks_total"
+	MetricFleetReconnects  = "tkmc_fleet_reconnects_total"
+	MetricFleetNodeUp      = "tkmc_fleet_node_up"
 	MetricRecoveryRestores = "tkmc_recovery_restores_total"
 	MetricRecoveryFailures = "tkmc_recovery_failures_total"
 	MetricRecoveryReplays  = "tkmc_recovery_replays_total"
