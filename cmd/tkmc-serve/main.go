@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -90,7 +91,8 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	f32 := fs.Bool("f32", false, "run fused NNP batches in f32 (not bit-identical to f64)")
 	fleetN := fs.Int("fleet", 1, "independent serve nodes in this process (ports increment from -addr)")
 	idleSecs := fs.Float64("idle", 0, "idle session reap timeout in seconds (0 = default, negative = never)")
-	teleAddr := fs.String("telemetry", "", "telemetry HTTP address (/metrics, /healthz, /events, pprof); empty = off")
+	drainSecs := fs.Float64("drain", 5, "seconds to let in-flight sessions finish on SIGTERM before force-closing")
+	teleAddr := fs.String("telemetry", "", "telemetry HTTP address (/metrics, /healthz, /readyz, /events, pprof); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -116,8 +118,17 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	if fb, ok := be.(*evalserve.FusionBackend); ok {
 		fb.SetTelemetry(set)
 	}
+	// The readiness probe flips to 503 the moment a drain begins, while
+	// /healthz keeps reporting liveness — load balancers stop routing new
+	// clients to a node that is letting its attached simulations finish.
+	var draining atomic.Bool
 	if set != nil {
-		tsrv, err := telemetry.Serve(*teleAddr, set)
+		tsrv, err := telemetry.ServeReady(*teleAddr, set, func() (bool, string) {
+			if draining.Load() {
+				return false, "draining"
+			}
+			return true, ""
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "tkmc-serve:", err)
 			return exitRuntime
@@ -168,8 +179,23 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 		opts.Capacity, opts.Shards, opts.MaxBatch, opts.Workers)
 
 	<-sig
+	// Graceful drain: every node stops accepting at once (new connection
+	// attempts are refused), then in-flight sessions get the shared
+	// deadline to finish. The exit is clean either way — a session that
+	// outlives the deadline is force-closed and its client falls back or
+	// fails over, exactly as if the node had been lost.
+	draining.Store(true)
+	deadline := time.Now().Add(time.Duration(*drainSecs * float64(time.Second)))
+	fmt.Fprintf(stdout, "tkmc-serve: draining %d node(s)\n", len(fes))
 	for i := range fes {
-		fes[i].Close()
+		left := time.Until(deadline)
+		if left < 0 {
+			left = 0
+		}
+		forced, _ := fes[i].Drain(left)
+		if forced > 0 {
+			fmt.Fprintf(stdout, "tkmc-serve: node %d force-closed %d session(s) at the drain deadline\n", i, forced)
+		}
 		srvs[i].Close()
 		fmt.Fprintln(stdout, "tkmc-serve:", srvs[i].Stats().String())
 	}

@@ -319,3 +319,108 @@ func TestServeFleetNodes(t *testing.T) {
 		t.Fatalf("want 3 per-node stat reports, got %d:\n%s", n, out.String())
 	}
 }
+
+// TestServeFleetDrain: SIGTERM with live fleet sessions must flip
+// /readyz to 503, refuse new connections, let the in-flight sessions
+// keep evaluating until their clients disconnect, and exit 0 with every
+// node's stats reported — the graceful half of crash-only shutdown.
+func TestServeFleetDrain(t *testing.T) {
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain(
+			[]string{"-addr", "127.0.0.1:0", "-fleet", "3", "-cutoff", "3.0",
+				"-drain", "30", "-telemetry", "127.0.0.1:0"},
+			out, io.Discard, sig)
+	}()
+	addrs := waitForAddrs(t, out, 3)
+
+	// The telemetry banner carries the /readyz address.
+	var teleAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for teleAddr == "" && time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if i := strings.Index(line, "telemetry on http://"); i >= 0 {
+				teleAddr = strings.TrimSuffix(line[i+len("telemetry on http://"):], "/metrics")
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if teleAddr == "" {
+		t.Fatalf("no telemetry banner:\n%s", out.String())
+	}
+	if resp, err := http.Get("http://" + teleAddr + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain readyz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	// One live session per node, all held open across the drain.
+	clients := make([]*evalserve.Client, len(addrs))
+	for i, addr := range addrs {
+		cl, err := evalserve.Dial(addr, units.LatticeConstantFe, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cl
+	}
+	tb := encoding.New(units.LatticeConstantFe, 3.0)
+	vets := sampleVETs(tb, 2, 91)
+	want := make([]float64, len(clients))
+	for i, cl := range clients {
+		res, err := cl.Evaluate(vets[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Initial
+	}
+
+	sig <- os.Interrupt
+
+	// New connections must be refused once the drain begins.
+	refused := false
+	deadline = time.Now().Add(10 * time.Second)
+	for !refused && time.Now().Before(deadline) {
+		cl, err := evalserve.Dial(addrs[0], units.LatticeConstantFe, 3.0)
+		if err != nil {
+			refused = true
+			break
+		}
+		cl.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("draining node still accepted new sessions")
+	}
+	if resp, err := http.Get("http://" + teleAddr + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain readyz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	// In-flight sessions keep evaluating — bit-identically — while the
+	// drain waits for them.
+	for i, cl := range clients {
+		res, err := cl.Evaluate(vets[0])
+		if err != nil {
+			t.Fatalf("mid-drain eval on node %d: %v", i, err)
+		}
+		if res.Initial != want[i] {
+			t.Fatalf("mid-drain eval on node %d: %v, want %v", i, res.Initial, want[i])
+		}
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+
+	if code := <-exit; code != exitClean {
+		t.Fatalf("drain exit %d, want %d\n%s", code, exitClean, out.String())
+	}
+	if n := strings.Count(out.String(), "tkmc-serve: evalserve:"); n != 3 {
+		t.Fatalf("want 3 per-node stat reports, got %d:\n%s", n, out.String())
+	}
+	if strings.Contains(out.String(), "force-closed") {
+		t.Fatalf("drain force-closed sessions that had already disconnected:\n%s", out.String())
+	}
+}

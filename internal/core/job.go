@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the run-as-job entry point: the hooks a control plane
+// (internal/ctl) injects to turn a one-shot simulation into a unit of
+// schedulable, preemptible, restartable work. The contract rests on the
+// checkpoint discipline: a job's entire resumable state lives in its
+// state directory, so stopping a job and restoring a job are the same
+// operation (preemption-as-restore), and a controller that crashed and
+// restarted re-adopts a job exactly the way a preempted job resumes.
+
+// ErrJobStopped is the sentinel wrapped into the error returned when a
+// controlled run observes its stop signal at a segment boundary. It is
+// a clean interruption, not a failure: the state on disk is the
+// committed segment's checkpoint, and a later run from the same job
+// directory resumes the identical trajectory.
+var ErrJobStopped = errors.New("core: job stopped at segment boundary")
+
+// JobControl carries the stop/resume hooks a control plane injects into
+// a supervised run. The zero value is a valid no-op (never stops, no
+// observer).
+type JobControl struct {
+	// Stop, if non-nil, is polled at segment boundaries; once it is
+	// closed (or delivers), the run checkpoints and returns an error
+	// wrapping ErrJobStopped instead of starting the next segment.
+	Stop <-chan struct{}
+	// OnSegment, if non-nil, observes every committed segment — the
+	// control plane's progress feed (WAL progress records and the SSE
+	// observable stream both hang off it).
+	OnSegment func(p JobProgress)
+}
+
+// Stopped reports whether the stop signal has fired.
+func (jc *JobControl) Stopped() bool {
+	if jc == nil || jc.Stop == nil {
+		return false
+	}
+	select {
+	case <-jc.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// JobProgress is the per-segment account passed to JobControl.OnSegment.
+type JobProgress struct {
+	// Time is the committed simulated clock in seconds; Hops the
+	// cumulative executed hop count.
+	Time float64
+	Hops int64
+	// Isolated, Clusters and MaxCluster are the Cu precipitation
+	// observables at the boundary (zero when analysis was skipped).
+	Isolated   int
+	Clusters   int
+	MaxCluster int
+}
+
+// JobCheckpointPath returns the canonical checkpoint location inside a
+// job's state directory. Everything a job needs to resume lives at this
+// path (plus its rotated ".bak"), which is what makes preemption,
+// controller crash recovery and migration all the same restore.
+func JobCheckpointPath(dir string) string {
+	return filepath.Join(dir, "checkpoint.tkmc")
+}
+
+// PrepareJob rewires a parsed simulation config to run as a controlled
+// job out of the given state directory: the checkpoint path is forced to
+// JobCheckpointPath(dir) (creating dir), and when that path already
+// holds a loadable checkpoint — a preempted job, or one orphaned by a
+// killed controller — it is loaded as the restart point. The returned
+// bool reports whether a restore point was found.
+//
+// Any checkpoint/restart paths the deck itself carried are deliberately
+// overridden: the job directory is the single source of truth for a
+// job's resumable state, so two jobs submitted from the same deck text
+// cannot alias each other's files.
+func PrepareJob(cfg Config, dir string) (Config, bool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return cfg, false, fmt.Errorf("core: creating job directory: %w", err)
+	}
+	path := JobCheckpointPath(dir)
+	cfg.CheckpointPath = path
+	// In-run slicing is the control plane's job (it derives segment
+	// boundaries deterministically from the deck); a nested
+	// CheckpointEvery slicing would double up.
+	cfg.CheckpointEvery = 0
+	if _, err := os.Stat(path); err != nil {
+		if _, bakErr := os.Stat(path + ".bak"); bakErr != nil {
+			return cfg, false, nil // fresh job, no restore point
+		}
+	}
+	ck, err := LoadCheckpointOrBackup(path)
+	if err != nil {
+		return cfg, false, fmt.Errorf("core: job has a checkpoint that will not load: %w", err)
+	}
+	cfg.Restart = ck
+	cfg.InitialBox = nil
+	return cfg, true, nil
+}
+
+// SegmentTarget returns the absolute clock target of 0-based segment k
+// for a job of the given total duration sliced every seg seconds. The
+// target is computed from the integer index — float64(k+1)*seg, clamped
+// to duration — never by chaining subtractions, so a run resumed from
+// the checkpoint at boundary k computes bit-identical targets to the
+// uninterrupted run: the foundation of the preemption-as-restore and
+// crash-recovery byte-identity guarantees.
+func SegmentTarget(k int, seg, duration float64) float64 {
+	if seg <= 0 {
+		return duration
+	}
+	t := float64(k+1) * seg
+	if t >= duration {
+		return duration
+	}
+	return t
+}
+
+// SegmentIndex recovers the 0-based index of the next segment to run
+// from a committed boundary clock. Boundary clocks sit within float dust
+// of float64(k)*seg (serial segments clip the clock to the target
+// exactly; parallel segments advance by the exact requested duration),
+// so rounding is safe; clocks at or past duration mean the job is done
+// and any target the index implies will clamp to duration.
+func SegmentIndex(time, seg float64) int {
+	if seg <= 0 || time <= 0 {
+		return 0
+	}
+	k := int(time/seg + 0.5)
+	// A mid-segment clock (possible only if the slicing changed between
+	// incarnations) rounds to the nearest boundary; never let that skip
+	// simulated time.
+	if float64(k)*seg > time {
+		k--
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}

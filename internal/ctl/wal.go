@@ -1,0 +1,318 @@
+// Package ctl is the crash-only multi-job control plane: a WAL-backed
+// job store, an admission-controlled priority scheduler that multiplexes
+// many simulations over the shared evaluation substrate, and an HTTP
+// front-end (cmd/tkmc-ctl) for submitting decks and streaming
+// observables.
+//
+// The design is crash-only in the literal sense: there is no clean
+// shutdown path that the recovery path does not also handle. Every job
+// state transition is appended to a CRC-framed write-ahead log before it
+// is acknowledged, every job's resumable simulation state lives in its
+// own checkpoint directory (the PR 2/3 discipline), and restart — after
+// a SIGKILL, a power cut, or an ordinary exit — is always the same
+// sequence: load the last snapshot, replay the WAL tail, re-adopt every
+// non-terminal job from its last checkpoint. Preempting a job, draining
+// the controller and recovering from a crash are one mechanism: stop at
+// a segment boundary, trust the checkpoint, restore later.
+package ctl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tensorkmc/internal/fault"
+	"tensorkmc/internal/telemetry"
+)
+
+// walMagic heads the write-ahead log; snapMagic heads the compacted
+// snapshot. Both are versioned the same way as TKMCBOX2.
+const (
+	walMagic  = "TKMCWAL1"
+	snapMagic = "TKMCSNAP"
+)
+
+// maxWALRecord bounds one record's payload before any allocation — a
+// record carries a full job upsert including its deck text, so the
+// bound is generous but still refuses a corrupt length prefix asking
+// for gigabytes.
+const maxWALRecord = 4 << 20
+
+// walRecord is one appended entry: a monotonically increasing log
+// sequence number and the full job record after the transition (an
+// upsert — replay is idempotent and order-insensitive past the LSN
+// check, which is what makes a snapshot-then-crash-before-truncate
+// restart safe).
+type walRecord struct {
+	LSN uint64    `json:"lsn"`
+	Job JobRecord `json:"job"`
+}
+
+// wal is the open write-ahead log. All methods are called with the
+// plane's mutex held, so the file handle needs no lock of its own.
+type wal struct {
+	f    *os.File
+	path string
+	lsn  uint64 // last assigned LSN
+	n    int    // records appended since open/compaction
+
+	appends, fsyncs, snapshots *telemetry.Counter
+}
+
+// openWAL opens (creating if absent) the log at path and replays its
+// records. A torn final record — the signature of a crash mid-append —
+// is tolerated: replay stops at the first frame that is short or fails
+// its CRC, and the file is truncated back to the last whole record so
+// the next append extends a clean tail.
+func openWAL(path string, set *telemetry.Set) (*wal, []walRecord, error) {
+	w := &wal{path: path}
+	if reg := set.Reg(); reg != nil {
+		w.appends = reg.Counter(telemetry.MetricCtlWALAppends,
+			"Job-state records appended to the control-plane WAL.")
+		w.fsyncs = reg.Counter(telemetry.MetricCtlWALFsyncs,
+			"Control-plane WAL fsyncs (one per acknowledged transition).")
+		w.snapshots = reg.Counter(telemetry.MetricCtlWALSnapshots,
+			"Atomic snapshot compactions of the control-plane WAL.")
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctl: opening WAL: %w", err)
+	}
+	recs, good, err := readWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate a torn tail so the next append starts at a record
+	// boundary; the lost partial record was never acknowledged.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ctl: truncating torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ctl: seeking WAL tail: %w", err)
+	}
+	w.f = f
+	for _, r := range recs {
+		if r.LSN > w.lsn {
+			w.lsn = r.LSN
+		}
+	}
+	w.n = len(recs)
+	return w, recs, nil
+}
+
+// readWAL parses records from the start of f, returning them along with
+// the offset of the first byte past the last whole record. A missing or
+// short header on an empty file writes the header. Corruption after the
+// first whole record is treated as the torn tail of a crash — expected,
+// not an error.
+func readWAL(f *os.File) (recs []walRecord, good int64, err error) {
+	hdr := make([]byte, len(walMagic))
+	n, err := io.ReadFull(f, hdr)
+	if err != nil {
+		if n == 0 { // brand-new file: stamp the header
+			if _, err := f.Write([]byte(walMagic)); err != nil {
+				return nil, 0, fmt.Errorf("ctl: writing WAL header: %w", err)
+			}
+			return nil, int64(len(walMagic)), nil
+		}
+		return nil, 0, fmt.Errorf("ctl: WAL header truncated (%d bytes)", n)
+	}
+	if string(hdr) != walMagic {
+		return nil, 0, fmt.Errorf("ctl: bad WAL magic %q", hdr)
+	}
+	good = int64(len(walMagic))
+	br := newCountingReader(f)
+	for {
+		var ln uint32
+		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			return recs, good, nil // clean EOF or torn length prefix
+		}
+		if ln == 0 || ln > maxWALRecord {
+			return recs, good, nil // garbage length: torn tail
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, good, nil
+		}
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return recs, good, nil
+		}
+		if stored != crc32.ChecksumIEEE(payload) {
+			return recs, good, nil // torn or bit-rotted record: stop here
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += int64(4 + len(payload) + 4)
+	}
+}
+
+// countingReader tracks how many bytes have been consumed so readWAL
+// can report the offset of the last whole record.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// append frames, writes and fsyncs one record, assigning the next LSN.
+// The fsync-before-acknowledge ordering is the write-ahead contract: a
+// transition the caller saw succeed is durable, and a crash between
+// write and fsync loses at most a record that was never acknowledged.
+func (w *wal) append(job JobRecord) (uint64, error) {
+	w.lsn++
+	rec := walRecord{LSN: w.lsn, Job: job}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("ctl: encoding WAL record: %w", err)
+	}
+	var frame bytes.Buffer
+	binary.Write(&frame, binary.LittleEndian, uint32(len(payload)))
+	frame.Write(payload)
+	binary.Write(&frame, binary.LittleEndian, crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		return 0, fmt.Errorf("ctl: appending WAL record: %w", err)
+	}
+	w.appends.Inc()
+	maybeCrash(CrashWALAppend) // chaos: die with the record written but not fsynced
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("ctl: fsyncing WAL: %w", err)
+	}
+	w.fsyncs.Inc()
+	maybeCrash(CrashWALFsync) // chaos: die with the record durable but unapplied
+	w.n++
+	return w.lsn, nil
+}
+
+// snapshotState is the compacted store image: everything replay needs
+// that is not derivable from the job records themselves.
+type snapshotState struct {
+	LSN     uint64      `json:"lsn"` // last LSN folded into this snapshot
+	NextSeq uint64      `json:"next_seq"`
+	Jobs    []JobRecord `json:"jobs"`
+}
+
+// saveSnapshot writes the compacted state crash-safely (temp file,
+// fsync, atomic rename, .bak rotation — the TKMCBOX2 discipline).
+func saveSnapshot(path string, st snapshotState) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("ctl: encoding snapshot: %w", err)
+	}
+	return fault.WriteFileAtomic(path, true, func(f io.Writer) error {
+		crc := crc32.NewIEEE()
+		mw := io.MultiWriter(f, crc)
+		if _, err := mw.Write([]byte(snapMagic)); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, uint32(len(payload))); err != nil {
+			return err
+		}
+		if _, err := mw.Write(payload); err != nil {
+			return err
+		}
+		return binary.Write(f, binary.LittleEndian, crc.Sum32())
+	})
+}
+
+// loadSnapshot reads a snapshot, falling back to the rotated .bak when
+// the primary is missing or corrupt. No snapshot at all is not an error
+// — a young WAL has never compacted.
+func loadSnapshot(path string) (snapshotState, bool, error) {
+	st, err := loadSnapshotFile(path)
+	if err == nil {
+		return st, true, nil
+	}
+	if bak, bakErr := loadSnapshotFile(path + ".bak"); bakErr == nil {
+		return bak, true, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return snapshotState{}, false, nil
+	}
+	return snapshotState{}, false, fmt.Errorf("ctl: loading snapshot %s: %w", path, err)
+}
+
+func loadSnapshotFile(path string) (snapshotState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snapshotState{}, err
+	}
+	if len(raw) < len(snapMagic)+8 || string(raw[:len(snapMagic)]) != snapMagic {
+		return snapshotState{}, fmt.Errorf("ctl: bad snapshot header")
+	}
+	body := raw[:len(raw)-4]
+	stored := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if stored != crc32.ChecksumIEEE(body) {
+		return snapshotState{}, fmt.Errorf("ctl: snapshot checksum mismatch")
+	}
+	ln := binary.LittleEndian.Uint32(raw[len(snapMagic):])
+	payload := raw[len(snapMagic)+4 : len(raw)-4]
+	if int(ln) != len(payload) {
+		return snapshotState{}, fmt.Errorf("ctl: snapshot length mismatch")
+	}
+	var st snapshotState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return snapshotState{}, fmt.Errorf("ctl: decoding snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// compact folds the current store image into an atomic snapshot and
+// resets the log to empty. The ordering is what makes a crash anywhere
+// inside harmless: the snapshot is durable (with .bak rotation) before
+// the log is reset, and the reset itself is a temp-file rename; a crash
+// between the two replays old records whose LSNs the snapshot already
+// covers, and the LSN check skips them.
+func (w *wal) compact(st snapshotState, snapPath string) error {
+	st.LSN = w.lsn
+	if err := saveSnapshot(snapPath, st); err != nil {
+		return err
+	}
+	maybeCrash(CrashSnapshot) // chaos: die with the snapshot durable but the log not yet reset
+	err := fault.WriteFileAtomic(w.path, false, func(f io.Writer) error {
+		_, err := f.Write([]byte(walMagic))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("ctl: resetting WAL: %w", err)
+	}
+	w.f.Close()
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ctl: reopening compacted WAL: %w", err)
+	}
+	w.f = f
+	w.n = 0
+	w.snapshots.Inc()
+	return nil
+}
+
+// close releases the log file handle (the data is already durable —
+// every append fsynced before acknowledging).
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

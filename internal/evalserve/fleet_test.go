@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/nnp"
 	"tensorkmc/internal/telemetry"
@@ -92,6 +93,26 @@ func TestFleetFailoverOnNodeKill(t *testing.T) {
 	tb := fc.Tables()
 	direct := nnp.NewLatticeEvaluator(pot, tb)
 	vets := sampleVETs(t, tb, 10, 33)
+	// The kill is only observable through keys the dead node *owns*:
+	// replicas are tried only after the owner fails, so if every sampled
+	// key happens to land on a survivor the victim is never probed and
+	// the down-marking assertion below would flake on ring layout (the
+	// kernel-assigned ports decide the vnode carve-up). Extend the
+	// sample until the victim owns at least one key.
+	ownsOne := func(vs []encoding.VET) bool {
+		for _, vet := range vs {
+			if fc.ring.Owner(tb.Fingerprint(vet)) == addrs[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := uint64(100); !ownsOne(vets); seed++ {
+		if seed == 150 {
+			t.Fatal("no sampled key owned by the victim node after 50 batches")
+		}
+		vets = append(vets, sampleVETs(t, tb, 10, seed)...)
+	}
 	check := func(tag string) {
 		t.Helper()
 		for i, vet := range vets {

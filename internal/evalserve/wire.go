@@ -228,6 +228,45 @@ func (f *Frontend) Close() error {
 	return err
 }
 
+// Drain is the graceful sibling of Close: it stops accepting new
+// sessions immediately (connection attempts are refused once the
+// listener closes) but gives in-flight sessions up to timeout to finish
+// on their own — a KMC client holds its session for the life of its
+// run, so draining a serve node means letting attached simulations
+// disconnect at their own pace. Sessions still live at the deadline are
+// force-closed. It returns the number of sessions that had to be
+// forced, so callers can report an imperfect drain while still shutting
+// down cleanly.
+func (f *Frontend) Drain(timeout time.Duration) (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	lnErr := f.ln.Close()
+
+	done := make(chan struct{})
+	go func() { f.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return 0, lnErr
+	case <-time.After(timeout):
+	}
+	f.mu.Lock()
+	conns := make([]net.Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	<-done
+	return len(conns), lnErr
+}
+
 // handle runs one client session to completion. Every frame read is
 // armed with the idle deadline and every reply write with the write
 // deadline, so a half-open peer expires instead of pinning the handler

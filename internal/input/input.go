@@ -25,6 +25,8 @@
 //	eval_retry   2       # extra attempts per node before failover
 //	eval_timeout 5       # per-request wire deadline (seconds)
 //	eval_fallback on     # local evaluation when the fleet is gone
+//	tenant       alice   # control-plane job owner (tkmc-ctl)
+//	priority     high    # control-plane class: low, normal or high
 package input
 
 import (
@@ -78,6 +80,14 @@ type Deck struct {
 	// EventLog, if set, receives the flight-recorder event journal as
 	// JSONL when the run exits — on every exit path, including crashes.
 	EventLog string
+	// Tenant and Priority are job-level keys read by the tkmc-ctl
+	// control plane: Tenant names the submitting owner for quota
+	// accounting, Priority picks the scheduling class ("low", "normal"
+	// or "high"; empty means normal). Both are inert outside the
+	// control plane, so a deck that runs under tkmc-ctl also runs
+	// unchanged under plain tensorkmc.
+	Tenant   string
+	Priority string
 
 	// evalFallbackSet records an explicit 'eval_fallback' line, so Parse
 	// can default fallback ON for fleet runs without overriding the
@@ -308,6 +318,21 @@ func (d *Deck) apply(key string, args []string) error {
 			return fmt.Errorf("restart wants a path")
 		}
 		d.RestartFile = args[0]
+	case "tenant":
+		if len(args) != 1 {
+			return fmt.Errorf("tenant wants one name")
+		}
+		d.Tenant = args[0]
+	case "priority":
+		if len(args) != 1 {
+			return fmt.Errorf("priority wants 'low', 'normal' or 'high'")
+		}
+		switch p := strings.ToLower(args[0]); p {
+		case "low", "normal", "high":
+			d.Priority = p
+		default:
+			return fmt.Errorf("unknown priority %q (want low, normal or high)", args[0])
+		}
 	case "potential":
 		if len(args) < 1 {
 			return fmt.Errorf("potential wants 'eam', 'bondcount' or 'nnp <file>'")

@@ -78,6 +78,11 @@ type Config struct {
 	// the failure — e.g. folding a replacement node into the fabric by
 	// reviving a chaos-stalled rank.
 	OnFailure func(Failure)
+	// Control carries the control plane's stop/resume hooks: Stop is
+	// polled at segment boundaries (a firing stop checkpoints and
+	// returns an error wrapping core.ErrJobStopped), and OnSegment
+	// observes every committed segment. The zero value never stops.
+	Control core.JobControl
 }
 
 // ExhaustedError is returned when a segment keeps failing after
@@ -229,11 +234,14 @@ func (s *Supervisor) Run(duration float64) (core.Report, error) {
 	}
 	remaining := duration
 	for remaining > 0 {
+		if s.cfg.Control.Stopped() {
+			return core.Report{Recovery: s.Recovery()}, s.stopped()
+		}
 		chunk := remaining
 		if s.cfg.Segment > 0 && s.cfg.Segment < chunk {
 			chunk = s.cfg.Segment
 		}
-		if err := s.runSegment(chunk); err != nil {
+		if err := s.runSegment(s.lastTime + chunk); err != nil {
 			return core.Report{Recovery: s.Recovery()}, err
 		}
 		remaining -= chunk
@@ -249,11 +257,35 @@ func (s *Supervisor) Run(duration float64) (core.Report, error) {
 	}, nil
 }
 
-// runSegment advances the simulation to lastTime+chunk, replaying after
-// failures until it commits or retries are exhausted.
-func (s *Supervisor) runSegment(chunk float64) error {
+// RunTo advances the simulation to the absolute clock target as one
+// supervised segment (with the usual restore-and-replay on failure).
+// It is the control plane's entry point: computing boundaries from
+// absolute targets — never from chained durations — is what lets a
+// preempted or crash-restored job recompute the identical segment
+// schedule and reproduce the uninterrupted trajectory bit for bit.
+// A target at or before the current clock commits nothing and returns
+// nil. A stop signal pending at entry returns before running.
+func (s *Supervisor) RunTo(target float64) error {
+	if s.cfg.Control.Stopped() {
+		return s.stopped()
+	}
+	if target <= s.lastTime {
+		return nil
+	}
+	return s.runSegment(target)
+}
+
+// stopped builds the typed clean-interruption error.
+func (s *Supervisor) stopped() error {
+	s.tele.journal.RecordSim("job-stopped", s.sim.Time(),
+		"stop signal honoured at segment boundary (segment %d committed)", s.segIndex)
+	return fmt.Errorf("supervise: %w", core.ErrJobStopped)
+}
+
+// runSegment advances the simulation to the absolute clock target,
+// replaying after failures until it commits or retries are exhausted.
+func (s *Supervisor) runSegment(target float64) error {
 	s.segIndex++
-	target := s.lastTime + chunk
 	for attempt := 1; ; attempt++ {
 		var err error
 		if left := target - s.sim.Time(); left > 0 {
@@ -265,6 +297,13 @@ func (s *Supervisor) runSegment(chunk float64) error {
 		if err == nil {
 			s.shadow = s.sim.Checkpoint()
 			s.lastTime = s.sim.Time()
+			if on := s.cfg.Control.OnSegment; on != nil {
+				a := s.sim.Analyze()
+				on(core.JobProgress{
+					Time: s.lastTime, Hops: s.sim.Hops(),
+					Isolated: a.Isolated, Clusters: a.Clusters, MaxCluster: a.MaxSize,
+				})
+			}
 			return nil
 		}
 

@@ -9,16 +9,31 @@ import (
 	"time"
 )
 
+// Readiness reports whether the process is ready to take new work. The
+// liveness and readiness probes are deliberately split: a draining
+// server is still alive (scrapes and in-flight work must keep going) but
+// must stop receiving traffic, so /healthz keeps answering 200 while
+// /readyz flips to 503. A nil Readiness means always ready.
+type Readiness func() (ready bool, detail string)
+
 // Handler builds the telemetry HTTP mux over a set:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/healthz        liveness probe ("ok")
+//	/readyz         readiness probe ("ready", or 503 while draining)
 //	/events         flight-recorder ring as JSONL, oldest first
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // It is exported separately from Serve so tests (and embedders with
-// their own servers) can mount it without opening a port.
+// their own servers) can mount it without opening a port. Handler is
+// always ready; servers with a drain path use HandlerReady.
 func Handler(s *Set) http.Handler {
+	return HandlerReady(s, nil)
+}
+
+// HandlerReady is Handler with an explicit readiness probe backing
+// /readyz (nil means always ready).
+func HandlerReady(s *Set, ready Readiness) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,6 +42,20 @@ func Handler(s *Set) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if ok, detail := ready(); !ok {
+				if detail == "" {
+					detail = "not ready"
+				}
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, detail)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -57,12 +86,24 @@ type HTTPServer struct {
 // "127.0.0.1:9090"; use port 0 to let the kernel pick) and serves the
 // Handler mux in the background until Close.
 func Serve(addr string, s *Set) (*HTTPServer, error) {
+	return ServeHandler(addr, Handler(s))
+}
+
+// ServeReady is Serve with a readiness probe behind /readyz — the hook
+// a draining server flips to 503 while it checkpoints in-flight work.
+func ServeReady(addr string, s *Set, ready Readiness) (*HTTPServer, error) {
+	return ServeHandler(addr, HandlerReady(s, ready))
+}
+
+// ServeHandler serves an arbitrary handler (typically Handler or a mux
+// wrapping it) with the telemetry server's lifecycle management.
+func ServeHandler(addr string, handler http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	h := &HTTPServer{
-		srv:  &http.Server{Handler: Handler(s), ReadHeaderTimeout: 10 * time.Second},
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
 		addr: ln.Addr().String(),
 		done: make(chan error, 1),
 	}

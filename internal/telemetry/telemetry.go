@@ -74,6 +74,13 @@ const (
 	MetricMPITimeouts      = "tkmc_mpi_timeouts_total"
 	MetricEventsTotal      = "tkmc_events_total"
 	MetricEventsDropped    = "tkmc_events_dropped_total"
+	MetricCtlJobs          = "tkmc_ctl_jobs"
+	MetricCtlSubmitted     = "tkmc_ctl_submitted_total"
+	MetricCtlPreemptions   = "tkmc_ctl_preemptions_total"
+	MetricCtlShed          = "tkmc_ctl_shed_total"
+	MetricCtlWALAppends    = "tkmc_ctl_wal_appends_total"
+	MetricCtlWALFsyncs     = "tkmc_ctl_wal_fsyncs_total"
+	MetricCtlWALSnapshots  = "tkmc_ctl_wal_snapshots_total"
 )
 
 // Set bundles one run's telemetry: the metric registry, the span

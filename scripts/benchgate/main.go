@@ -7,7 +7,10 @@
 //     filling batches, so every fused dispatch goes out (nearly) width-1
 //     and the wide-GEMM amortisation is dead weight;
 //   - width-64 fused evaluation slower per system than width-1: the wide
-//     kernel has lost to its own overhead, i.e. batching actively hurts.
+//     kernel has lost to its own overhead, i.e. batching actively hurts;
+//   - speculative warm-hit rate < 0.5: the predictor is guessing wrong
+//     more often than right, so speculation is burning evaluation work
+//     without filling batches with anything useful.
 //
 // The thresholds are deliberately loose screens against structural
 // regression, not performance SLOs: CI machines are noisy, so the gate
@@ -19,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // Degenerate-state thresholds (see package comment). wideTolerance
@@ -26,9 +30,12 @@ import (
 // must at minimum not be slower than width-1 beyond the run-to-run
 // variance band; a genuine regression (streaming pipeline broken, tiles
 // falling out of cache) shows up as 1.5–2× and trips regardless.
+// minSpecHitRate is the coin-flip line: a predictor below 0.5 is worse
+// than guessing and speculation should be treated as broken.
 const (
-	minOccupancy  = 1.5
-	wideTolerance = 1.10
+	minOccupancy   = 1.5
+	wideTolerance  = 1.10
+	minSpecHitRate = 0.5
 )
 
 func main() {
@@ -45,11 +52,13 @@ func main() {
 		fail("parsing %s: %v", path, err)
 	}
 
+	// Collect every absent field before failing, so one CI run reports
+	// the full shopping list instead of one missing key per attempt.
+	var missing []string
 	need := func(key string) float64 {
 		v, ok := report[key]
 		if !ok {
-			fail("%s missing %q — run the evalserve benches first "+
-				"(go test -bench 'EvalSpeculativeOccupancy|EvalBatchWidth' -benchtime=1x .)", path, key)
+			missing = append(missing, key)
 		}
 		return v
 	}
@@ -57,6 +66,12 @@ func main() {
 	occ := need("batch_occupancy_mean")
 	w1 := need("batch_width_1_ns_per_system")
 	w64 := need("batch_width_64_ns_per_system")
+	hit := need("spec_hit_rate")
+	if len(missing) > 0 {
+		fail("%s missing %s — run the evalserve benches first "+
+			"(go test -bench 'EvalSpeculativeOccupancy|EvalBatchWidth' -benchtime=1x .)",
+			path, strings.Join(missing, ", "))
+	}
 
 	ok := true
 	if occ <= minOccupancy {
@@ -69,11 +84,16 @@ func main() {
 			w64, w1, 100*(wideTolerance-1))
 		ok = false
 	}
+	if hit < minSpecHitRate {
+		fmt.Fprintf(os.Stderr, "FAIL: speculative warm-hit rate %.3f < %.1f — the hop predictor is worse than a coin flip\n",
+			hit, minSpecHitRate)
+		ok = false
+	}
 	if !ok {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate ok: occupancy %.2f (> %.1f), width-64 %.0f ns/system vs width-1 %.0f ns/system (%.2fx, tolerance %.2fx)\n",
-		occ, minOccupancy, w64, w1, w1/w64, wideTolerance)
+	fmt.Printf("benchgate ok: occupancy %.2f (> %.1f), width-64 %.0f ns/system vs width-1 %.0f ns/system (%.2fx, tolerance %.2fx), spec hit rate %.3f (≥ %.1f)\n",
+		occ, minOccupancy, w64, w1, w1/w64, wideTolerance, hit, minSpecHitRate)
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,237 @@
+// Command fuzzcorpus regenerates the checked-in seed corpora under
+// the packages' testdata/fuzz/ directories, so `go test` (which runs
+// every fuzz target once per corpus entry) exercises the interesting
+// decode paths even on machines that have never run `go test -fuzz`.
+// The binary seeds — a real TKMCBOX2 checkpoint, a legacy TKMCBOX1
+// snapshot, correctly framed wire messages — cannot be hand-typed, so
+// they are built here with the same code that produces them in
+// production and serialised in the `go test fuzz v1` corpus format.
+//
+// Usage (from the repo root):
+//
+//	go run ./scripts/fuzzcorpus
+//
+// Regeneration is deterministic: the same sources produce byte-for-byte
+// the same corpus files.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"tensorkmc/internal/core"
+	"tensorkmc/internal/encoding"
+	"tensorkmc/internal/lattice"
+	"tensorkmc/internal/rng"
+	"tensorkmc/internal/units"
+)
+
+// Wire opcodes, mirrored from internal/evalserve/wire.go (they are
+// unexported there; the values are part of the frozen wire format, so
+// duplicating them here is safe).
+const (
+	opHello   = 0x01
+	opEval    = 0x02
+	opStats   = 0x03
+	opHelloOK = 0x81
+	opResult  = 0x82
+	opError   = 0x7f
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzcorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if _, err := os.Stat("go.mod"); err != nil {
+		return fmt.Errorf("run from the repo root (go.mod not found): %w", err)
+	}
+	if err := writeDeckCorpus("internal/input/testdata/fuzz/FuzzParseDeck"); err != nil {
+		return err
+	}
+	if err := writeCheckpointCorpus("internal/core/testdata/fuzz/FuzzLoadCheckpoint"); err != nil {
+		return err
+	}
+	return writeWireCorpus("internal/evalserve/testdata/fuzz/FuzzWireFrame")
+}
+
+// writeSeed serialises one corpus entry in the `go test fuzz v1`
+// format. Go's fuzz corpus encodes each argument as a Go literal;
+// strconv.Quote produces exactly the escaping the decoder expects.
+func writeSeed(dir, name, typ string, data []byte) error {
+	body := "go test fuzz v1\n" + typ + "(" + strconv.Quote(string(data)) + ")\n"
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+func freshDir(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+func writeDeckCorpus(dir string) error {
+	if err := freshDir(dir); err != nil {
+		return err
+	}
+	seeds := map[string]string{
+		// A full production deck touching every family of keys,
+		// including the control-plane job keys (tenant, priority).
+		"full-deck": `# Fe-Cu thermal aging, control-plane submission
+cells        100 100 100
+lattice      2.87
+cu           0.0134
+vacancy      0.000008
+temperature  573
+cutoff       6.5
+duration     1e-3
+seed         42
+potential    eam
+ranks        2 2 1
+tstop        2e-8
+snapshots    10
+dump         solute
+checkpoint   state.box
+checkpoint_every 1e-4
+max_retries  3
+audit_every  5
+exchange_timeout 30
+tenant       alice
+priority     high
+`,
+		"minimal":      "cells 10 10 10\nduration 1e-8\n",
+		"restart-nnp":  "restart prev.box\nduration 1e-8\npotential nnp weights.nnp\n",
+		"eval-remote":  "cells 8 8 8\nduration 1e-8\neval_server 127.0.0.1:7865\n",
+		"crlf-comment": "cells 10 10 10 # inline comment\r\nduration 1e-8\r\n",
+		"case-mixed":   "CELLS 2 2 2\nDuration 1\nPriority LOW\n",
+		// Rejected decks: the validation contract the fuzz target asserts.
+		"bad-duration":        "cells 1 1 1\nduration 0\n",
+		"bad-no-geometry":     "duration 1e-8\n",
+		"bad-ckevery-orphan":  "cells 1 1 1\nduration 1\ncheckpoint_every 1\n",
+		"bad-priority":        "cells 1 1 1\nduration 1\npriority urgent\n",
+		"bad-negative-knobs":  "cells 1 1 1\nduration 1\nmax_retries -2\n",
+		"bad-truncated-cells": "cells\n",
+	}
+	for name, text := range seeds {
+		if err := writeSeed(dir, name, "string", []byte(text)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCheckpointCorpus(dir string) error {
+	if err := freshDir(dir); err != nil {
+		return err
+	}
+	// The same geometry the fuzz target seeds with f.Add: small enough
+	// that one fuzz execution is cheap, rich enough (alloy + vacancies
+	// + RNG stream) that every section of the format is present.
+	box := lattice.NewBox(3, 3, 2, 2.87)
+	lattice.FillRandomAlloy(box, 0.1, 0.05, rng.New(7))
+	full := &core.Checkpoint{
+		Box:       box,
+		Time:      1.5e-8,
+		Hops:      321,
+		Segment:   4,
+		HasRNG:    true,
+		RNG:       [4]uint64{11, 12, 13, 14},
+		Vacancies: lattice.Vacancies(box),
+	}
+	var buf bytes.Buffer
+	if err := full.Save(&buf); err != nil {
+		return err
+	}
+	valid := buf.Bytes()
+
+	parallel := &core.Checkpoint{Box: box, Time: 2e-8, Hops: 5, Segment: 9}
+	var pbuf bytes.Buffer
+	if err := parallel.Save(&pbuf); err != nil {
+		return err
+	}
+
+	var legacy bytes.Buffer // bare TKMCBOX1 box snapshot
+	if err := box.Save(&legacy); err != nil {
+		return err
+	}
+
+	truncated := bytes.Clone(valid[:len(valid)/2])
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x10 // corrupt the body, keep magic + CRC frame
+
+	seeds := map[string][]byte{
+		"valid-full":     valid,
+		"valid-parallel": pbuf.Bytes(),
+		"legacy-box1":    legacy.Bytes(),
+		"truncated-body": truncated,
+		"bitflip-body":   flipped,
+		"magic-only":     bytes.Clone(valid[:8]),
+	}
+	for name, data := range seeds {
+		if err := writeSeed(dir, name, "[]byte", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeWireCorpus(dir string) error {
+	if err := freshDir(dir); err != nil {
+		return err
+	}
+	frame := func(payload []byte) []byte {
+		out := make([]byte, 4+len(payload))
+		binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+		copy(out[4:], payload)
+		return out
+	}
+
+	hello := make([]byte, 17)
+	hello[0] = opHello
+	binary.LittleEndian.PutUint64(hello[1:], math.Float64bits(units.LatticeConstantFe))
+	binary.LittleEndian.PutUint64(hello[9:], math.Float64bits(units.CutoffShort))
+
+	// An eval frame sized for the short-cutoff geometry the fuzz
+	// server speaks — the one seed that can reach the backend.
+	tb := encoding.New(units.LatticeConstantFe, units.CutoffShort)
+	eval := make([]byte, 1+tb.NAll)
+	eval[0] = opEval
+	eval[1] = 1 // one Cu in the jumping region, rest Fe matrix
+
+	result := make([]byte, 74)
+	result[0] = opResult
+	binary.LittleEndian.PutUint64(result[1:], math.Float64bits(1.5))
+	binary.LittleEndian.PutUint64(result[9:], math.Float64bits(0.75))
+	result[73] = 0x01 // valid mask: direction 0 only
+
+	helloOK := make([]byte, 5)
+	helloOK[0] = opHelloOK
+	binary.LittleEndian.PutUint32(helloOK[1:], uint32(tb.NAll))
+
+	seeds := map[string][]byte{
+		"hello":         frame(hello),
+		"hello-ok":      frame(helloOK),
+		"eval":          frame(eval),
+		"stats":         frame([]byte{opStats}),
+		"result":        frame(result),
+		"error-generic": frame(append([]byte{opError, 0x00}, "boom"...)),
+		"bad-empty":     {0, 0, 0, 0},
+		"bad-oversized": {0xff, 0xff, 0xff, 0xff, 1},
+		"bad-truncated": {4, 0, 0, 0, 1},
+		"session-pair":  append(frame(hello), frame([]byte{opStats})...),
+	}
+	for name, data := range seeds {
+		if err := writeSeed(dir, name, "[]byte", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
