@@ -120,6 +120,15 @@ func Open(cfg Config) (*Plane, error) {
 		return nil, err
 	}
 	p.wal = w
+	// The LSN counter must never fall below the snapshot watermark:
+	// right after a compaction the tail is empty, so the replayed
+	// records alone would restart the counter at zero and the next
+	// appends would be assigned LSNs the replay filter below discards
+	// as already folded into the snapshot — silently losing
+	// acknowledged transitions on the restart after next.
+	if snap.LSN > w.lsn {
+		w.lsn = snap.LSN
+	}
 	p.nextSeq = snap.NextSeq
 	for _, rec := range snap.Jobs {
 		p.jobs[rec.ID] = &job{rec: rec, journal: telemetry.NewJournal(0)}
@@ -363,11 +372,12 @@ func (p *Plane) Cancel(id string) (JobRecord, error) {
 		j.journal.Record("cancel-requested", "stopping at the next segment boundary")
 		return j.rec, nil
 	default: // queued or preempted: no runner to stop
+		prev := j.rec.State
 		err := p.transitionLocked(j, func(r *JobRecord) { r.State = StateCanceled })
 		if err != nil {
 			return j.rec, err
 		}
-		j.journal.Record("canceled", "canceled while %s", StateQueued)
+		j.journal.Record("canceled", "canceled while %s", prev)
 		p.schedule()
 		return j.rec, nil
 	}

@@ -332,6 +332,54 @@ func TestDrainCheckpointsRunningJobs(t *testing.T) {
 	}
 }
 
+// TestLSNSurvivesCompactionRestart: restart → compaction-emptied WAL →
+// submit → restart again. The first reopen sees an empty tail, so its
+// LSN counter must be seeded from the snapshot watermark; otherwise the
+// post-restart submission is assigned an LSN at or below the watermark
+// and the second reopen's replay filter silently discards it —
+// acknowledged-durable job state lost.
+func TestLSNSurvivesCompactionRestart(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery: 1 compacts after every transition, so closing leaves
+	// exactly the dangerous shape: snapshot at watermark N, empty tail.
+	p := openTestPlane(t, Config{Dir: dir, SnapshotEvery: 1})
+	first, err := p.Submit(testDeck("alice", "normal", 1, 1e-9, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, p, first.ID, "first completion", func(r JobRecord) bool { return r.State.Terminal() })
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second incarnation must NOT compact: its appends have to sit
+	// in the WAL tail where only their LSNs decide whether the third
+	// incarnation's replay keeps them.
+	p2 := openTestPlane(t, Config{Dir: dir, SnapshotEvery: 1000})
+	second, err := p2.Submit(testDeck("bob", "normal", 2, 1e-9, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, p2, second.ID, "second completion", func(r JobRecord) bool { return r.State.Terminal() })
+	if done.State != StateCompleted {
+		t.Fatalf("second job: %s (%s)", done.State, done.Error)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p3 := openTestPlane(t, Config{Dir: dir, SnapshotEvery: 1000})
+	for _, id := range []string{first.ID, second.ID} {
+		rec, err := p3.Get(id)
+		if err != nil {
+			t.Fatalf("job %s lost across compaction restart: %v", id, err)
+		}
+		if rec.State != StateCompleted {
+			t.Fatalf("job %s reverted to %s after restart", id, rec.State)
+		}
+	}
+}
+
 // TestReAdoptionAfterRestart: a WAL whose last word says "running" is a
 // controller that died mid-job. Open must requeue it (counting the
 // restore) and run it to completion from whatever checkpoint exists.

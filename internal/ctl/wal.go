@@ -60,6 +60,8 @@ type wal struct {
 	path string
 	lsn  uint64 // last assigned LSN
 	n    int    // records appended since open/compaction
+	off  int64  // file offset just past the last durable whole record
+	err  error  // sticky failure: a torn frame could not be removed
 
 	appends, fsyncs, snapshots *telemetry.Counter
 }
@@ -100,6 +102,7 @@ func openWAL(path string, set *telemetry.Set) (*wal, []walRecord, error) {
 		return nil, nil, fmt.Errorf("ctl: seeking WAL tail: %w", err)
 	}
 	w.f = f
+	w.off = good
 	for _, r := range recs {
 		if r.LSN > w.lsn {
 			w.lsn = r.LSN
@@ -116,15 +119,23 @@ func openWAL(path string, set *telemetry.Set) (*wal, []walRecord, error) {
 // not an error.
 func readWAL(f *os.File) (recs []walRecord, good int64, err error) {
 	hdr := make([]byte, len(walMagic))
-	n, err := io.ReadFull(f, hdr)
-	if err != nil {
-		if n == 0 { // brand-new file: stamp the header
-			if _, err := f.Write([]byte(walMagic)); err != nil {
-				return nil, 0, fmt.Errorf("ctl: writing WAL header: %w", err)
-			}
-			return nil, int64(len(walMagic)), nil
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		// Zero to seven bytes: a brand-new file, or a crash between
+		// creation and the header write reaching the disk. No record
+		// can follow a short header, so nothing acknowledged is lost
+		// by resetting the file and re-stamping the magic — a hard
+		// error here would leave the controller permanently unable to
+		// start after a kill point recovery must handle.
+		if err := f.Truncate(0); err != nil {
+			return nil, 0, fmt.Errorf("ctl: resetting short WAL header: %w", err)
 		}
-		return nil, 0, fmt.Errorf("ctl: WAL header truncated (%d bytes)", n)
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, 0, fmt.Errorf("ctl: seeking WAL start: %w", err)
+		}
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			return nil, 0, fmt.Errorf("ctl: writing WAL header: %w", err)
+		}
+		return nil, int64(len(walMagic)), nil
 	}
 	if string(hdr) != walMagic {
 		return nil, 0, fmt.Errorf("ctl: bad WAL magic %q", hdr)
@@ -179,6 +190,9 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // transition the caller saw succeed is durable, and a crash between
 // write and fsync loses at most a record that was never acknowledged.
 func (w *wal) append(job JobRecord) (uint64, error) {
+	if w.err != nil {
+		return 0, fmt.Errorf("ctl: WAL is failed, restart to recover: %w", w.err)
+	}
 	w.lsn++
 	rec := walRecord{LSN: w.lsn, Job: job}
 	payload, err := json.Marshal(rec)
@@ -190,17 +204,40 @@ func (w *wal) append(job JobRecord) (uint64, error) {
 	frame.Write(payload)
 	binary.Write(&frame, binary.LittleEndian, crc32.ChecksumIEEE(payload))
 	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		w.rewind(err)
 		return 0, fmt.Errorf("ctl: appending WAL record: %w", err)
 	}
 	w.appends.Inc()
 	maybeCrash(CrashWALAppend) // chaos: die with the record written but not fsynced
 	if err := w.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have discarded the dirty
+		// pages, so the frame's on-disk state is unknowable; fail the
+		// log outright and let restart recovery truncate the tail.
+		w.err = fmt.Errorf("fsync failed: %w", err)
 		return 0, fmt.Errorf("ctl: fsyncing WAL: %w", err)
 	}
 	w.fsyncs.Inc()
 	maybeCrash(CrashWALFsync) // chaos: die with the record durable but unapplied
 	w.n++
+	w.off += int64(frame.Len())
 	return w.lsn, nil
+}
+
+// rewind removes the torn frame a failed write left at the tail so the
+// next append starts at a record boundary. Without it, replay stops at
+// the tear and silently drops every later record — including ones that
+// were fully written, fsynced and acknowledged after the failure. If
+// the file cannot be restored the log turns itself off: refusing all
+// further appends (forcing a restart, whose recovery truncates the
+// tear) is the only answer that never loses an acknowledged record.
+func (w *wal) rewind(cause error) {
+	if err := w.f.Truncate(w.off); err != nil {
+		w.err = fmt.Errorf("write failed (%v) and torn-frame truncate failed: %w", cause, err)
+		return
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		w.err = fmt.Errorf("write failed (%v) and seek to clean tail failed: %w", cause, err)
+	}
 }
 
 // snapshotState is the compacted store image: everything replay needs
@@ -302,6 +339,7 @@ func (w *wal) compact(st snapshotState, snapPath string) error {
 	}
 	w.f = f
 	w.n = 0
+	w.off = int64(len(walMagic))
 	w.snapshots.Inc()
 	return nil
 }

@@ -122,6 +122,91 @@ func TestWALCorruptRecord(t *testing.T) {
 	}
 }
 
+// TestWALShortHeader: a crash between file creation and the header
+// write becoming durable leaves 0-7 bytes. Nothing acknowledged can
+// live in a header-only file, so open must reset and re-stamp it, not
+// refuse to start.
+func TestWALShortHeader(t *testing.T) {
+	for cut := 0; cut < len(walMagic); cut++ {
+		path := filepath.Join(t.TempDir(), "ctl.wal")
+		if err := os.WriteFile(path, []byte(walMagic)[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, recs, err := openWAL(path, nil)
+		if err != nil {
+			t.Fatalf("%d-byte header: %v", cut, err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("%d-byte header replayed %d records", cut, len(recs))
+		}
+		if _, err := w.append(testRec("job-1", 1, StateQueued)); err != nil {
+			t.Fatalf("%d-byte header: append after reset: %v", cut, err)
+		}
+		w.close()
+		if _, recs, err = openWAL(path, nil); err != nil || len(recs) != 1 {
+			t.Fatalf("%d-byte header: re-replay got %d records err=%v", cut, len(recs), err)
+		}
+	}
+}
+
+// TestWALRewindAfterFailedWrite: a failed append must not leave a torn
+// frame that replay would stop at, silently dropping records appended
+// (and acknowledged) after the failure.
+func TestWALRewindAfterFailedWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctl.wal")
+	w, _, err := openWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(testRec("job-1", 1, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a partial write landing in the file, then the repair the
+	// append path runs on a write error.
+	if _, err := w.f.Write([]byte{0x07, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	w.rewind(io.ErrShortWrite)
+	if w.err != nil {
+		t.Fatalf("rewind failed the log: %v", w.err)
+	}
+	if _, err := w.append(testRec("job-2", 2, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	_, recs, err := openWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Job.ID != "job-2" {
+		t.Fatalf("replayed %+v, want both records past the repaired tear", recs)
+	}
+}
+
+// TestWALFailsClosed: when the torn frame cannot be removed (here: the
+// file descriptor is gone), the log must refuse every later append
+// instead of acknowledging records that replay can never reach.
+func TestWALFailsClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctl.wal")
+	w, _, err := openWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(testRec("job-1", 1, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // every write, truncate and seek now fails
+	if _, err := w.append(testRec("job-2", 2, StateQueued)); err == nil {
+		t.Fatal("append on a dead file succeeded")
+	}
+	if w.err == nil {
+		t.Fatal("unrepairable tail did not fail the log")
+	}
+	if _, err := w.append(testRec("job-3", 3, StateQueued)); err == nil {
+		t.Fatal("append on a failed log succeeded")
+	}
+}
+
 // TestWALBadMagic: a foreign file is refused outright, not replayed.
 func TestWALBadMagic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ctl.wal")
