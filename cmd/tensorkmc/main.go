@@ -38,6 +38,7 @@ import (
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/supervise"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/traj"
 )
 
 // Exit codes (see the package comment).
@@ -110,6 +111,21 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 		}
 		defer srv.Close()
 		fmt.Fprintf(stdout, "tensorkmc: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if deck.TrajLog != "" {
+		mode := traj.ModeSerial
+		if cfg.Ranks[0]*cfg.Ranks[1]*cfg.Ranks[2] > 1 {
+			mode = traj.ModeParallel
+		}
+		rec, err := traj.Open(deck.TrajLog, mode, deck.TrajSnapshotEvery)
+		if err != nil {
+			fmt.Fprintln(stderr, "tensorkmc:", err)
+			return exitUsage
+		}
+		defer rec.Close()
+		rec.SetJournal(set.Events())
+		cfg.Traj = rec
+		fmt.Fprintf(stdout, "tensorkmc: recording %v trajectory to %s\n", mode, deck.TrajLog)
 	}
 
 	sup, err := supervise.New(cfg, supervise.Config{

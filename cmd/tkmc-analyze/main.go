@@ -6,6 +6,14 @@
 // Usage:
 //
 //	tkmc-analyze -box state.box [-shells 2] [-xyz solute.xyz] [-full-xyz]
+//	tkmc-analyze replay -log run.tkmctrj -to-hop N [-deck input] [-out state.tkmc]
+//
+// The replay subcommand time-travels an event-sourced TKMCTRJ1
+// trajectory log: it reconstructs the exact run state at hop N —
+// byte-identical to a fresh run stopped there — and reports the
+// replayed observables (including the vacancy diffusivity accumulated
+// over the replay for serial logs). Parallel logs need the original
+// deck (-deck) and a target on a recorded segment boundary.
 package main
 
 import (
@@ -17,9 +25,19 @@ import (
 
 	"tensorkmc/internal/cluster"
 	"tensorkmc/internal/core"
+	"tensorkmc/internal/diffusion"
+	"tensorkmc/internal/input"
+	"tensorkmc/internal/kmc"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		if err := runReplay(os.Stdout, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	boxPath := flag.String("box", "", "box snapshot path (required)")
 	shells := flag.Int("shells", 2, "cluster adjacency: 1 = 1NN, 2 = 1NN+2NN")
 	xyz := flag.String("xyz", "", "write an extended-XYZ export here")
@@ -27,12 +45,74 @@ func main() {
 	flag.Parse()
 	if *boxPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: tkmc-analyze -box <snapshot> [-shells N] [-xyz out.xyz]")
+		fmt.Fprintln(os.Stderr, "       tkmc-analyze replay -log <trajectory> -to-hop N [-deck input] [-out ck.tkmc]")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, *boxPath, *shells, *xyz, *fullXYZ); err != nil {
 		fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplay implements the replay subcommand.
+func runReplay(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	logPath := fs.String("log", "", "TKMCTRJ1 trajectory log (required)")
+	toHop := fs.Int64("to-hop", -1, "target hop count (required)")
+	deckPath := fs.String("deck", "", "input deck, required for parallel logs (re-runs recorded segments)")
+	out := fs.String("out", "", "write the reconstructed TKMCBOX2 checkpoint here")
+	shells := fs.Int("shells", 2, "cluster adjacency: 1 = 1NN, 2 = 1NN+2NN")
+	fs.Parse(args)
+	if *logPath == "" || *toHop < 0 {
+		return fmt.Errorf("replay needs -log <trajectory> and -to-hop N")
+	}
+
+	var ck *core.Checkpoint
+	var tr *diffusion.Tracker
+	if *deckPath != "" {
+		deck, err := input.ParseFile(*deckPath)
+		if err != nil {
+			return err
+		}
+		cfg, err := deck.Finish()
+		if err != nil {
+			return err
+		}
+		ck, err = core.ReplayParallelToHop(cfg, *logPath, *toHop)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		ck, err = core.ReplayToHop(*logPath, *toHop, core.ReplayOptions{
+			FromStart: true,
+			OnBase: func(base *core.Checkpoint) error {
+				tr = diffusion.NewTracker(base.Box, len(base.Vacancies))
+				return nil
+			},
+			Observer: func(ev kmc.Event) { tr.Record(ev) },
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "replayed %s to hop %d: t = %.6g s, %d vacancies\n",
+		*logPath, ck.Hops, ck.Time, len(ck.Vacancies))
+	a := cluster.Analyze(ck.Box, *shells)
+	fmt.Fprintf(w, "clusters (%dNN adjacency): %d isolated Cu, %d clusters, max size %d\n",
+		*shells, a.Isolated, a.Clusters, a.MaxSize)
+	if tr != nil && tr.Time() > 0 {
+		fmt.Fprintf(w, "vacancy diffusivity over the replayed window: %.4g A^2/s (%d hops tracked)\n",
+			tr.Coefficient(ck.Box.A), tr.Hops())
+	}
+	if *out != "" {
+		if err := ck.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
+	}
+	return nil
 }
 
 func run(w io.Writer, boxPath string, shells int, xyzPath string, fullXYZ bool) error {

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"tensorkmc/internal/core"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/rng"
+	"tensorkmc/internal/traj"
 )
 
 func TestAnalyzeSnapshot(t *testing.T) {
@@ -46,5 +49,62 @@ func TestAnalyzeMissingFile(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "/nonexistent.box", 2, "", false); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestReplaySubcommand records a serial run into a trajectory log, then
+// time-travels it to the midpoint: the reconstructed checkpoint must
+// land exactly on the target hop and the report must include the
+// replayed diffusivity.
+func TestReplaySubcommand(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "run.tkmctrj")
+	rec, err := traj.Open(logPath, traj.ModeSerial, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.New(core.Config{
+		Cells: [3]int{8, 8, 8}, CuFraction: 0.05, VacancyFraction: 0.002, Seed: 3,
+		Traj: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(4e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	hops := sim.Hops()
+	sim.Close()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hops < 2 {
+		t.Fatalf("run too short to replay: %d hops", hops)
+	}
+
+	target := hops / 2
+	out := filepath.Join(dir, "replayed.tkmc")
+	var sb strings.Builder
+	if err := runReplay(&sb, []string{
+		"-log", logPath, "-to-hop", fmt.Sprint(target), "-out", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replayed", "clusters", "diffusivity", "wrote"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("replay output missing %q:\n%s", want, sb.String())
+		}
+	}
+	ck, err := core.LoadCheckpointFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Hops != target {
+		t.Fatalf("replayed checkpoint at hop %d, want %d", ck.Hops, target)
+	}
+
+	// A target past the end of the log must be a hard error.
+	if err := runReplay(&sb, []string{"-log", logPath, "-to-hop", fmt.Sprint(hops + 100)}); err == nil {
+		t.Fatal("replay past the end of the log succeeded")
 	}
 }

@@ -22,6 +22,8 @@ import (
 var lintedPackages = []string{
 	"internal/fusion",
 	"internal/evalserve",
+	"internal/traj",
+	"internal/ctl",
 }
 
 func TestExportedSymbolsDocumented(t *testing.T) {

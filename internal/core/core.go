@@ -22,6 +22,7 @@ import (
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/sublattice"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/traj"
 	"tensorkmc/internal/units"
 )
 
@@ -140,6 +141,16 @@ type Config struct {
 	// Chaos, if non-nil, is a fault interposer for the parallel
 	// message fabric (testing only).
 	Chaos *mpi.Chaos
+
+	// Traj, if non-nil, records the run into an event-sourced TKMCTRJ1
+	// trajectory log: every serial hop and clip (or parallel segment)
+	// becomes an append-only record, with periodic full-state snapshots
+	// for replay seeding. The recorder is owned by the caller — it
+	// survives supervisor rebuilds, which roll it back to the restored
+	// state's committed mark — and it only observes executed events, so
+	// checkpoints are byte-identical with recording on or off. Its mode
+	// must match the run (serial vs parallel).
+	Traj *traj.Recorder
 
 	// Telemetry, if non-nil, instruments the whole stack: the engines
 	// bump tkmc_step_total and decompose the hot path into phase spans,
@@ -325,7 +336,71 @@ func New(cfg Config) (*Simulation, error) {
 			return nil, err
 		}
 	}
+	if err := s.attachTraj(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// attachTraj binds the configured trajectory recorder to this
+// simulation's starting state. A fresh log begins here (and seeds
+// itself with an initial snapshot); a resumed log — including every
+// supervisor restore, which rebuilds the simulation through New — rolls
+// back to the committed mark matching the restored state, failing
+// closed if none exists.
+func (s *Simulation) attachTraj() error {
+	r := s.Cfg.Traj
+	if r == nil {
+		return nil
+	}
+	wantMode := traj.ModeSerial
+	if s.Cfg.parallel() {
+		wantMode = traj.ModeParallel
+	}
+	if r.Mode() != wantMode {
+		return fmt.Errorf("core: trajectory log is %v but the run is %v", r.Mode(), wantMode)
+	}
+	if r.Begun() {
+		if err := r.Rollback(s.Hops(), s.Time()); err != nil {
+			return fmt.Errorf("core: resuming trajectory log: %w", err)
+		}
+		return nil
+	}
+	if err := r.Begin(s.Hops(), s.Time()); err != nil {
+		return fmt.Errorf("core: beginning trajectory log: %w", err)
+	}
+	if err := s.trajSnapshot(r); err != nil {
+		return err
+	}
+	// Make the begin + base snapshot durable immediately so every later
+	// rollback target — including a rollback to the very start — lies
+	// strictly after this frame.
+	if err := r.Commit(s.Hops(), s.Time()); err != nil {
+		return fmt.Errorf("core: committing trajectory log: %w", err)
+	}
+	return nil
+}
+
+// trajSnapshot writes a full-state snapshot of the log via the
+// checkpoint machinery (atomic rename + .bak rotation).
+func (s *Simulation) trajSnapshot(r *traj.Recorder) error {
+	return r.Snapshot(s.Hops(), s.Time(), func(path string) error {
+		return s.Checkpoint().SaveFile(path)
+	})
+}
+
+// trajCommit makes the trajectory log durable up to the current state;
+// Run calls it before every checkpoint write so a durable checkpoint
+// always has a log mark to roll back to.
+func (s *Simulation) trajCommit() error {
+	r := s.Cfg.Traj
+	if r == nil {
+		return nil
+	}
+	if err := r.Commit(s.Hops(), s.Time()); err != nil {
+		return fmt.Errorf("core: committing trajectory log: %w", err)
+	}
+	return nil
 }
 
 // Box returns the current lattice (the evolved state after runs).
@@ -464,6 +539,9 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 			if err := s.runChunk(chunk, observer); err != nil {
 				return Report{}, err
 			}
+			if err := s.trajCommit(); err != nil {
+				return Report{}, err
+			}
 			ckptSW := s.ckptPh.Start()
 			err := s.SaveCheckpoint(s.Cfg.CheckpointPath)
 			ckptSW.Stop()
@@ -478,8 +556,13 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 				remaining = 0
 			}
 		}
-	} else if err := s.runChunk(duration, observer); err != nil {
-		return Report{}, err
+	} else {
+		if err := s.runChunk(duration, observer); err != nil {
+			return Report{}, err
+		}
+		if err := s.trajCommit(); err != nil {
+			return Report{}, err
+		}
 	}
 	return Report{
 		Duration: duration,
@@ -511,12 +594,27 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 			}
 		}
 	}()
+	rec := s.Cfg.Traj
 	if s.engine != nil {
 		limit := s.engine.Time() + duration
 		for s.engine.Time() < limit {
 			ev, ok := s.engine.Step(limit)
 			if !ok {
+				// A clipped draw pinned the clock to the limit and consumed
+				// RNG draws; a zero-rate stall consumed none and left the
+				// clock alone. Only the former is a trajectory event.
+				if rec != nil && s.engine.Time() >= limit {
+					rec.Clip(limit)
+				}
 				break
+			}
+			if rec != nil {
+				rec.Hop(ev.Slot, ev.Direction, ev.DeltaT)
+				if rec.SnapshotDue() {
+					if err := s.trajSnapshot(rec); err != nil {
+						return err
+					}
+				}
 			}
 			if observer != nil {
 				observer(ev)
@@ -550,6 +648,14 @@ func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (er
 		s.time += res.Time
 		for _, st := range res.Stats {
 			s.hops += st.Hops
+		}
+		if rec != nil {
+			rec.Segment(seg, duration, s.time, s.hops)
+			if rec.SnapshotDue() {
+				if err := s.trajSnapshot(rec); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

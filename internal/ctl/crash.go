@@ -29,6 +29,10 @@ const (
 	// CrashPreempt fires mid-preemption: the victim has checkpointed
 	// and stopped, but its requeue transition has not been logged.
 	CrashPreempt = "preempt"
+	// CrashFanout fires after each ensemble child is logged and applied
+	// during fan-out: recovery must finish the fan-out idempotently from
+	// the parent's durable record.
+	CrashFanout = "fanout"
 )
 
 // crashEnv names the environment variable carrying the crash plan.

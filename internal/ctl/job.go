@@ -22,13 +22,13 @@ import (
 type JobState string
 
 const (
-	StateQueued    JobState = "queued"
-	StateRunning   JobState = "running"
-	StatePreempted JobState = "preempted"
-	StateCompleted JobState = "completed"
-	StateFailed    JobState = "failed"
-	StateExhausted JobState = "exhausted"
-	StateCanceled  JobState = "canceled"
+	StateQueued    JobState = "queued"    // admitted, waiting for a run slot
+	StateRunning   JobState = "running"   // owned by a runner goroutine
+	StatePreempted JobState = "preempted" // checkpointed off its slot; rejoins the queue
+	StateCompleted JobState = "completed" // reached its deck duration
+	StateFailed    JobState = "failed"    // unrecoverable runtime error
+	StateExhausted JobState = "exhausted" // retry budget spent
+	StateCanceled  JobState = "canceled"  // removed by the client
 )
 
 // States lists every job state, in lifecycle order — the label space of
@@ -109,6 +109,19 @@ type JobRecord struct {
 	Restores    int `json:"restores,omitempty"`
 	// Error is the terminal diagnostic for failed/exhausted jobs.
 	Error string `json:"error,omitempty"`
+
+	// Replicas marks an ensemble parent: the deck asked for this many
+	// forked replicas. Parents never run — they stay queued while their
+	// children execute, then complete with the aggregated Ensemble
+	// result (or fail if every replica failed).
+	Replicas int `json:"replicas,omitempty"`
+	// Parent and Replica mark an ensemble child: the parent job's ID and
+	// this child's 1-based replica index.
+	Parent  string `json:"parent,omitempty"`
+	Replica int    `json:"replica,omitempty"`
+	// Ensemble is the parent's aggregated cross-replica result, set by
+	// the finalize transition once every child is terminal.
+	Ensemble *EnsembleResult `json:"ensemble,omitempty"`
 }
 
 // stopReason tells a runner why its stop channel fired, so it can log
@@ -132,6 +145,10 @@ type job struct {
 	reason  stopReason
 	done    chan struct{} // closed when the runner has fully exited
 	journal *telemetry.Journal
+
+	// finalizing guards ensemble aggregation: every child's exit kicks
+	// finalizeEnsemble, but only one invocation may aggregate.
+	finalizing bool
 }
 
 // snapshotRec returns the durable part of the job.

@@ -64,11 +64,12 @@ func (c *Config) applyDefaults() {
 // draining controller answers fast and honestly instead of queueing
 // unboundedly.
 type HTTPError struct {
-	Status int    `json:"status"`
-	Code   string `json:"code"`
-	Detail string `json:"detail"`
+	Status int    `json:"status"` // HTTP status code
+	Code   string `json:"code"`   // stable machine-readable error code
+	Detail string `json:"detail"` // human-readable explanation
 }
 
+// Error implements the error interface.
 func (e *HTTPError) Error() string {
 	return fmt.Sprintf("ctl: %s (%d): %s", e.Code, e.Status, e.Detail)
 }
@@ -169,10 +170,29 @@ func Open(cfg Config) (*Plane, error) {
 		}
 	}
 
+	// Ensemble recovery: finish any fan-out the dead incarnation left
+	// incomplete (idempotent — durable children are skipped), and re-kick
+	// finalization for parents whose replicas all reached terminal
+	// states before the crash. finalizeEnsemble bails unless the parent
+	// is actually ready, so the kick is safe to issue unconditionally.
+	var finalize []string
+	for _, j := range p.jobs {
+		if j.rec.Replicas <= 0 || j.rec.State.Terminal() {
+			continue
+		}
+		if err := p.fanOutLocked(j); err != nil {
+			return nil, fmt.Errorf("ctl: resuming fan-out for %s: %w", j.rec.ID, err)
+		}
+		finalize = append(finalize, j.rec.ID)
+	}
+
 	p.bindMetrics()
 	p.mu.Lock()
 	p.schedule()
 	p.mu.Unlock()
+	for _, id := range finalize {
+		go p.finalizeEnsemble(id)
+	}
 	return p, nil
 }
 
@@ -266,6 +286,13 @@ func (p *Plane) Submit(deckText string) (JobRecord, error) {
 		return JobRecord{}, &HTTPError{Status: http.StatusServiceUnavailable, Code: "draining",
 			Detail: "controller is draining; resubmit after restart"}
 	}
+	// An ensemble deck admits 1 + K jobs at once (the parent plus its
+	// replicas), so admission control charges all of them up front —
+	// quotas cannot be laundered through fan-out.
+	extra := 1
+	if deck.EnsembleReplicas > 0 {
+		extra += deck.EnsembleReplicas
+	}
 	backlog, tenantBacklog := 0, 0
 	for _, j := range p.jobs {
 		if j.rec.State.Terminal() {
@@ -276,15 +303,17 @@ func (p *Plane) Submit(deckText string) (JobRecord, error) {
 			tenantBacklog++
 		}
 	}
-	if backlog >= p.cfg.MaxQueued {
+	if backlog+extra > p.cfg.MaxQueued {
 		p.shed503.Inc()
 		return JobRecord{}, &HTTPError{Status: http.StatusServiceUnavailable, Code: "backlog_full",
-			Detail: fmt.Sprintf("controller backlog is at its bound (%d jobs in flight)", backlog)}
+			Detail: fmt.Sprintf("admitting %d job(s) would exceed the backlog bound (%d in flight, max %d)",
+				extra, backlog, p.cfg.MaxQueued)}
 	}
-	if tenantBacklog >= p.cfg.TenantQueued {
+	if tenantBacklog+extra > p.cfg.TenantQueued {
 		p.shed429.Inc()
 		return JobRecord{}, &HTTPError{Status: http.StatusTooManyRequests, Code: "tenant_quota",
-			Detail: fmt.Sprintf("tenant %q has %d jobs in flight (quota %d)", deck.Tenant, tenantBacklog, p.cfg.TenantQueued)}
+			Detail: fmt.Sprintf("tenant %q has %d jobs in flight and asks for %d more (quota %d)",
+				deck.Tenant, tenantBacklog, extra, p.cfg.TenantQueued)}
 	}
 
 	seq := p.nextSeq
@@ -298,6 +327,7 @@ func (p *Plane) Submit(deckText string) (JobRecord, error) {
 			Deck:     deckText,
 			State:    StateQueued,
 			Duration: deck.Duration,
+			Replicas: deck.EnsembleReplicas,
 		},
 		journal: telemetry.NewJournal(0),
 	}
@@ -309,6 +339,14 @@ func (p *Plane) Submit(deckText string) (JobRecord, error) {
 	p.submitted.Inc()
 	j.journal.Record("submitted", "tenant=%q priority=%d duration=%.4g s", deck.Tenant, prio, deck.Duration)
 	p.set.Events().Record("submit", "job %s tenant=%q priority=%d", j.rec.ID, deck.Tenant, prio)
+	if j.rec.Replicas > 0 {
+		// The parent is durable, so a fan-out failure here is not an
+		// admission failure: recovery finishes the fan-out idempotently
+		// on the next Open.
+		if err := p.fanOutLocked(j); err != nil {
+			p.set.Events().Record("fanout-incomplete", "job %s: %v (recovery will resume)", j.rec.ID, err)
+		}
+	}
 	p.schedule()
 	return j.rec, nil
 }
@@ -378,6 +416,14 @@ func (p *Plane) Cancel(id string) (JobRecord, error) {
 			return j.rec, err
 		}
 		j.journal.Record("canceled", "canceled while %s", prev)
+		if j.rec.Replicas > 0 {
+			p.cancelChildrenLocked(j)
+		}
+		if j.rec.Parent != "" {
+			// A directly canceled replica may be the last one its parent
+			// was waiting for.
+			go p.finalizeEnsemble(j.rec.Parent)
+		}
 		p.schedule()
 		return j.rec, nil
 	}
@@ -452,7 +498,9 @@ func (p *Plane) pickLocked() *job {
 	}
 	var best *job
 	for _, j := range p.jobs {
-		if !j.rec.State.runnable() {
+		// Ensemble parents hold no slot: they stay queued while their
+		// replicas run and complete via finalizeEnsemble.
+		if !j.rec.State.runnable() || j.rec.Replicas > 0 {
 			continue
 		}
 		if tenantRunning[j.rec.Tenant] >= p.cfg.TenantRunning {

@@ -3,12 +3,14 @@ package ctl
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"tensorkmc/internal/core"
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/supervise"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/traj"
 )
 
 // runJob is one job's runner goroutine: execute to completion or to a
@@ -80,6 +82,12 @@ func (p *Plane) runJob(j *job) {
 		// checkpoint, which is the honest recovery.
 		p.set.Events().Record("transition-failed", "job %s: %v", j.rec.ID, terr)
 	}
+	if j.rec.Parent != "" && j.rec.State.Terminal() {
+		// This replica may be the last one its ensemble parent was
+		// waiting for. The kick is speculative: finalizeEnsemble
+		// re-checks readiness under the lock.
+		go p.finalizeEnsemble(j.rec.Parent)
+	}
 	p.schedule()
 }
 
@@ -127,6 +135,25 @@ func (p *Plane) executeJob(j *job) (float64, int64, error) {
 	}
 	if restored {
 		j.journal.Record("restore", "resuming from job checkpoint")
+	}
+
+	// Ensemble replicas and decks asking for a trajectory log record
+	// into the job directory. The deck's own traj_log path is a
+	// standalone-run convenience; under the controller the log is
+	// recovery-critical state and lives next to the job checkpoint,
+	// where re-adoption (and ensemble finalization) can find it.
+	if deck.TrajLog != "" || j.rec.Replica > 0 {
+		mode := traj.ModeSerial
+		if cfg.Ranks[0]*cfg.Ranks[1]*cfg.Ranks[2] > 1 {
+			mode = traj.ModeParallel
+		}
+		rec, err := traj.Open(filepath.Join(p.JobDir(j.rec.ID), trajLogName), mode, deck.TrajSnapshotEvery)
+		if err != nil {
+			return 0, 0, fmt.Errorf("opening trajectory log: %w", err)
+		}
+		defer rec.Close()
+		rec.SetJournal(j.journal)
+		cfg.Traj = rec
 	}
 
 	seg := deck.CheckpointEvery

@@ -179,6 +179,7 @@ type countingReader struct {
 
 func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
 
+// Read implements io.Reader, counting the bytes consumed.
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)

@@ -88,6 +88,24 @@ type Deck struct {
 	// unchanged under plain tensorkmc.
 	Tenant   string
 	Priority string
+	// TrajLog, if set, records the run into an event-sourced TKMCTRJ1
+	// trajectory log at this path (every hop/clip serially, every
+	// segment in parallel), with full-state snapshots every
+	// TrajSnapshotEvery events (0 = only the initial one). The log
+	// replays via `tkmc-analyze replay`.
+	TrajLog           string
+	TrajSnapshotEvery int
+	// EnsembleReplicas, when positive, marks the deck as an ensemble
+	// parent for the tkmc-ctl control plane: submission fans out this
+	// many replica child jobs, each with an independently derived seed,
+	// and aggregates their observables into mean ± stderr. Inert under
+	// plain tensorkmc (which runs one trajectory).
+	EnsembleReplicas int
+	// Fork, with restart, drops the checkpoint's RNG state so the run
+	// branches from the restored lattice under the deck's own seed
+	// instead of continuing the recorded stream — the ensemble-replica
+	// divergence mechanism.
+	Fork bool
 
 	// evalFallbackSet records an explicit 'eval_fallback' line, so Parse
 	// can default fallback ON for fleet runs without overriding the
@@ -127,6 +145,12 @@ func Parse(r io.Reader) (*Deck, error) {
 	}
 	if d.CheckpointEvery > 0 && d.CheckpointFile == "" {
 		return nil, fmt.Errorf("input: 'checkpoint_every' requires 'checkpoint'")
+	}
+	if d.TrajSnapshotEvery > 0 && d.TrajLog == "" {
+		return nil, fmt.Errorf("input: 'traj_snapshot_every' requires 'traj_log'")
+	}
+	if d.Fork && d.RestartFile == "" {
+		return nil, fmt.Errorf("input: 'fork' requires 'restart'")
 	}
 	if len(d.Config.EvalFleet) == 0 {
 		if d.Config.EvalRetry != 0 || d.Config.EvalTimeout > 0 || d.evalFallbackSet {
@@ -318,6 +342,37 @@ func (d *Deck) apply(key string, args []string) error {
 			return fmt.Errorf("restart wants a path")
 		}
 		d.RestartFile = args[0]
+	case "traj_log":
+		if len(args) != 1 {
+			return fmt.Errorf("traj_log wants a path")
+		}
+		d.TrajLog = args[0]
+	case "traj_snapshot_every":
+		if err := nonNegInt(args, &d.TrajSnapshotEvery); err != nil {
+			return err
+		}
+		if d.TrajSnapshotEvery == 0 {
+			return fmt.Errorf("traj_snapshot_every wants a positive event count")
+		}
+	case "ensemble_replicas":
+		if err := nonNegInt(args, &d.EnsembleReplicas); err != nil {
+			return err
+		}
+		if d.EnsembleReplicas > 4096 {
+			return fmt.Errorf("ensemble_replicas %d exceeds the 4096 cap", d.EnsembleReplicas)
+		}
+	case "fork":
+		if len(args) != 1 {
+			return fmt.Errorf("fork wants 'on' or 'off'")
+		}
+		switch strings.ToLower(args[0]) {
+		case "on", "true", "1":
+			d.Fork = true
+		case "off", "false", "0":
+			d.Fork = false
+		default:
+			return fmt.Errorf("invalid fork %q", args[0])
+		}
 	case "tenant":
 		if len(args) != 1 {
 			return fmt.Errorf("tenant wants one name")
@@ -372,6 +427,13 @@ func (d *Deck) Finish() (core.Config, error) {
 		ck, err := core.LoadCheckpointOrBackup(d.RestartFile)
 		if err != nil {
 			return cfg, fmt.Errorf("input: loading restart: %w", err)
+		}
+		if d.Fork {
+			// Branch, don't continue: keep the restored lattice and clock
+			// but draw a fresh stream from the deck's seed, so replicas
+			// forked from one snapshot diverge deterministically.
+			ck.HasRNG = false
+			ck.RNG = [4]uint64{}
 		}
 		cfg.Restart = ck
 		cfg.InitialBox = ck.Box

@@ -1,0 +1,100 @@
+package input
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensorkmc/internal/core"
+)
+
+func parseDeck(t *testing.T, text string) (*Deck, error) {
+	t.Helper()
+	return Parse(strings.NewReader(text))
+}
+
+const trajBase = "cells 4 4 4\nduration 1e-8\n"
+
+func TestParseTrajKeys(t *testing.T) {
+	d, err := parseDeck(t, trajBase+"traj_log run.tkmctrj\ntraj_snapshot_every 500\nensemble_replicas 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrajLog != "run.tkmctrj" || d.TrajSnapshotEvery != 500 || d.EnsembleReplicas != 8 {
+		t.Fatalf("parsed %+v", d)
+	}
+}
+
+func TestTrajSnapshotEveryRequiresLog(t *testing.T) {
+	if _, err := parseDeck(t, trajBase+"traj_snapshot_every 10\n"); err == nil {
+		t.Fatal("orphan traj_snapshot_every accepted")
+	}
+	if _, err := parseDeck(t, trajBase+"traj_log x\ntraj_snapshot_every 0\n"); err == nil {
+		t.Fatal("zero traj_snapshot_every accepted")
+	}
+}
+
+func TestForkRequiresRestart(t *testing.T) {
+	if _, err := parseDeck(t, trajBase+"fork on\n"); err == nil {
+		t.Fatal("fork without restart accepted")
+	}
+	if _, err := parseDeck(t, trajBase+"fork maybe\nrestart ck\n"); err == nil {
+		t.Fatal("invalid fork value accepted")
+	}
+}
+
+func TestEnsembleReplicasCap(t *testing.T) {
+	if _, err := parseDeck(t, trajBase+"ensemble_replicas 5000\n"); err == nil {
+		t.Fatal("ensemble_replicas above cap accepted")
+	}
+}
+
+// TestForkDropsRNG checks Finish strips the restored RNG stream so a
+// forked replica draws from the deck's own seed while keeping the
+// lattice, clock and hop count.
+func TestForkDropsRNG(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "ck.tkmc")
+	sim, err := core.New(core.Config{
+		Cells: [3]int{6, 6, 6}, CuFraction: 0.01, VacancyFraction: 0.005, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if _, err := sim.Run(2e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SaveCheckpoint(ckPath); err != nil {
+		t.Fatal(err)
+	}
+
+	deckText := trajBase + "restart " + ckPath + "\nfork on\nseed 99\n"
+	d, err := parseDeck(t, deckText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := d.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Restart == nil || cfg.Restart.HasRNG {
+		t.Fatalf("fork kept the RNG stream: %+v", cfg.Restart)
+	}
+	if cfg.Restart.Hops != sim.Hops() || cfg.Restart.Time != sim.Time() {
+		t.Fatal("fork perturbed the restored clock")
+	}
+
+	// Without fork the stream must survive untouched.
+	d2, err := parseDeck(t, trajBase+"restart "+ckPath+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := d2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.Restart.HasRNG {
+		t.Fatal("plain restart lost the RNG stream")
+	}
+}

@@ -163,6 +163,25 @@ func (r *Stream) Split(id uint64) *Stream {
 	return New(seed)
 }
 
+// ChildSeed derives the seed of child stream id from a parent seed,
+// purely: unlike Split it consumes nothing from any stream, so the same
+// (parent, id) always maps to the same child seed no matter when or
+// where it is computed. Distinct ids give distinct SplitMix64 start
+// states (the increment is odd, so (id+1)·c never collides mod 2⁶⁴),
+// whose outputs are then mixed. Ensemble fan-out uses this to hand each
+// replica an independent trajectory that any process can re-derive.
+func ChildSeed(parent, id uint64) uint64 {
+	st := parent + (id+1)*0xd1342543de82ef95
+	z := splitMix64(&st)
+	return z ^ splitMix64(&st)
+}
+
+// Derive returns the child stream id of a parent seed, New(ChildSeed).
+// The golden-value tests pin its outputs across platforms.
+func Derive(parent, id uint64) *Stream {
+	return New(ChildSeed(parent, id))
+}
+
 // Perm fills dst with a uniformly random permutation of [0, len(dst)).
 func (r *Stream) Perm(dst []int) {
 	for i := range dst {

@@ -1,7 +1,8 @@
-// Command benchgate is the CI bench-smoke gate: it reads
-// BENCH_evalserve.json (produced by the evaluation-service benchmarks)
-// and fails if the batching-and-speculation machinery has regressed to
-// its degenerate states —
+// Command benchgate is the CI bench-smoke gate: it reads the
+// machine-readable bench reports (BENCH_evalserve.json from the
+// evaluation-service benchmarks, BENCH_traj.json from the
+// trajectory-recording bench) and fails if the corresponding machinery
+// has regressed to its degenerate states —
 //
 //   - mean drained-batch occupancy ≤ 1.5: speculation is no longer
 //     filling batches, so every fused dispatch goes out (nearly) width-1
@@ -10,12 +11,18 @@
 //     kernel has lost to its own overhead, i.e. batching actively hurts;
 //   - speculative warm-hit rate < 0.5: the predictor is guessing wrong
 //     more often than right, so speculation is burning evaluation work
-//     without filling batches with anything useful.
+//     without filling batches with anything useful;
+//   - trajectory-recording overhead > 5%: the event log has fallen off
+//     the buffered fast path and is taxing every hop;
+//   - bytes per logged event outside (0, 512]: the wire encoding has
+//     bloated (or the report is nonsense).
 //
 // The thresholds are deliberately loose screens against structural
 // regression, not performance SLOs: CI machines are noisy, so the gate
-// only trips when batching stops working at all, never on ordinary
-// variance. Usage: go run ./scripts/benchgate [report.json]
+// only trips when the machinery stops working at all, never on ordinary
+// variance. Usage: go run ./scripts/benchgate [report.json ...] — with
+// no arguments it gates both default reports. Each report's kind is
+// detected from its keys.
 package main
 
 import (
@@ -32,41 +39,63 @@ import (
 // falling out of cache) shows up as 1.5–2× and trips regardless.
 // minSpecHitRate is the coin-flip line: a predictor below 0.5 is worse
 // than guessing and speculation should be treated as broken.
+// maxRecordOverhead is the trajectory budget: recording rides the hot
+// hop path, so anything past a few percent means the buffered writer or
+// the varint encoding has structurally regressed. maxBytesPerEvent is a
+// sanity bound on the TKMCTRJ1 encoding — a hop frame is ~20 bytes and
+// even a snapshot-bearing log averages far under this.
 const (
-	minOccupancy   = 1.5
-	wideTolerance  = 1.10
-	minSpecHitRate = 0.5
+	minOccupancy      = 1.5
+	wideTolerance     = 1.10
+	minSpecHitRate    = 0.5
+	maxRecordOverhead = 0.05
+	maxBytesPerEvent  = 512.0
 )
 
 func main() {
-	path := "BENCH_evalserve.json"
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+	paths := os.Args[1:]
+	if len(paths) == 0 {
+		paths = []string{"BENCH_evalserve.json", "BENCH_traj.json"}
 	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		fail("reading report: %v", err)
-	}
-	var report map[string]float64
-	if err := json.Unmarshal(raw, &report); err != nil {
-		fail("parsing %s: %v", path, err)
-	}
-
-	// Collect every absent field before failing, so one CI run reports
-	// the full shopping list instead of one missing key per attempt.
-	var missing []string
-	need := func(key string) float64 {
-		v, ok := report[key]
-		if !ok {
-			missing = append(missing, key)
+	ok := true
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail("reading report: %v", err)
 		}
-		return v
+		var report map[string]float64
+		if err := json.Unmarshal(raw, &report); err != nil {
+			fail("parsing %s: %v", path, err)
+		}
+		if _, isTraj := report["record_overhead"]; isTraj {
+			ok = gateTraj(path, report) && ok
+		} else {
+			ok = gateEvalserve(path, report) && ok
+		}
 	}
+	if !ok {
+		os.Exit(1)
+	}
+}
 
-	occ := need("batch_occupancy_mean")
-	w1 := need("batch_width_1_ns_per_system")
-	w64 := need("batch_width_64_ns_per_system")
-	hit := need("spec_hit_rate")
+// need looks a key up in the report, collecting absences into missing
+// so one CI run reports the full shopping list instead of one missing
+// key per attempt.
+func need(report map[string]float64, missing *[]string, key string) float64 {
+	v, ok := report[key]
+	if !ok {
+		*missing = append(*missing, key)
+	}
+	return v
+}
+
+// gateEvalserve screens the batching-and-speculation report.
+func gateEvalserve(path string, report map[string]float64) bool {
+	var missing []string
+	occ := need(report, &missing, "batch_occupancy_mean")
+	w1 := need(report, &missing, "batch_width_1_ns_per_system")
+	w64 := need(report, &missing, "batch_width_64_ns_per_system")
+	hit := need(report, &missing, "spec_hit_rate")
 	if len(missing) > 0 {
 		fail("%s missing %s — run the evalserve benches first "+
 			"(go test -bench 'EvalSpeculativeOccupancy|EvalBatchWidth' -benchtime=1x .)",
@@ -89,11 +118,40 @@ func main() {
 			hit, minSpecHitRate)
 		ok = false
 	}
-	if !ok {
-		os.Exit(1)
+	if ok {
+		fmt.Printf("benchgate ok (%s): occupancy %.2f (> %.1f), width-64 %.0f ns/system vs width-1 %.0f ns/system (%.2fx, tolerance %.2fx), spec hit rate %.3f (≥ %.1f)\n",
+			path, occ, minOccupancy, w64, w1, w1/w64, wideTolerance, hit, minSpecHitRate)
 	}
-	fmt.Printf("benchgate ok: occupancy %.2f (> %.1f), width-64 %.0f ns/system vs width-1 %.0f ns/system (%.2fx, tolerance %.2fx), spec hit rate %.3f (≥ %.1f)\n",
-		occ, minOccupancy, w64, w1, w1/w64, wideTolerance, hit, minSpecHitRate)
+	return ok
+}
+
+// gateTraj screens the trajectory-recording report.
+func gateTraj(path string, report map[string]float64) bool {
+	var missing []string
+	overhead := need(report, &missing, "record_overhead")
+	perEvent := need(report, &missing, "bytes_per_event")
+	if len(missing) > 0 {
+		fail("%s missing %s — run the trajectory bench first "+
+			"(go test -bench TrajRecordOverhead -benchtime=1x .)",
+			path, strings.Join(missing, ", "))
+	}
+
+	ok := true
+	if overhead > maxRecordOverhead {
+		fmt.Fprintf(os.Stderr, "FAIL: trajectory recording overhead %.1f%% > %.0f%% — the event log is taxing the hot hop path\n",
+			100*overhead, 100*maxRecordOverhead)
+		ok = false
+	}
+	if perEvent <= 0 || perEvent > maxBytesPerEvent {
+		fmt.Fprintf(os.Stderr, "FAIL: %.1f bytes per logged event outside (0, %.0f] — the TKMCTRJ1 encoding has bloated\n",
+			perEvent, maxBytesPerEvent)
+		ok = false
+	}
+	if ok {
+		fmt.Printf("benchgate ok (%s): recording overhead %.2f%% (≤ %.0f%%), %.1f B/event (≤ %.0f)\n",
+			path, 100*overhead, 100*maxRecordOverhead, perEvent, maxBytesPerEvent)
+	}
+	return ok
 }
 
 func fail(format string, args ...any) {

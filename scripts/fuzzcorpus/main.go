@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -28,6 +29,7 @@ import (
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/lattice"
 	"tensorkmc/internal/rng"
+	"tensorkmc/internal/traj"
 	"tensorkmc/internal/units"
 )
 
@@ -60,7 +62,10 @@ func run() error {
 	if err := writeCheckpointCorpus("internal/core/testdata/fuzz/FuzzLoadCheckpoint"); err != nil {
 		return err
 	}
-	return writeWireCorpus("internal/evalserve/testdata/fuzz/FuzzWireFrame")
+	if err := writeWireCorpus("internal/evalserve/testdata/fuzz/FuzzWireFrame"); err != nil {
+		return err
+	}
+	return writeTrajCorpus("internal/traj/testdata/fuzz/FuzzReadTrajLog")
 }
 
 // writeSeed serialises one corpus entry in the `go test fuzz v1`
@@ -227,6 +232,100 @@ func writeWireCorpus(dir string) error {
 		"bad-oversized": {0xff, 0xff, 0xff, 0xff, 1},
 		"bad-truncated": {4, 0, 0, 0, 1},
 		"session-pair":  append(frame(hello), frame([]byte{opStats})...),
+	}
+	for name, data := range seeds {
+		if err := writeSeed(dir, name, "[]byte", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrajCorpus builds TKMCTRJ1 trajectory-log seeds with the real
+// recorder (a valid serial log with a snapshot and a clip, a valid
+// parallel segment log) plus the hostile shapes the decoder must
+// survive: torn tails, bit flips that break a frame CRC, a
+// correctly-framed garbage opcode, and non-logs.
+func writeTrajCorpus(dir string) error {
+	if err := freshDir(dir); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "trajcorpus")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	serialPath := filepath.Join(tmp, "serial.tkmctrj")
+	sr, err := traj.Open(serialPath, traj.ModeSerial, 0)
+	if err != nil {
+		return err
+	}
+	if err := sr.Begin(0, 0); err != nil {
+		return err
+	}
+	err = sr.Snapshot(0, 0, func(p string) error {
+		return os.WriteFile(p, []byte("snapshot stand-in"), 0o644)
+	})
+	if err != nil {
+		return err
+	}
+	sr.Hop(0, 3, 1e-9)
+	sr.Hop(1, 5, 2e-9)
+	sr.Hop(0, 7, 1.5e-9)
+	sr.Clip(1e-8)
+	if err := sr.Commit(3, 1e-8); err != nil {
+		return err
+	}
+	if err := sr.Close(); err != nil {
+		return err
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		return err
+	}
+
+	parallelPath := filepath.Join(tmp, "parallel.tkmctrj")
+	pr, err := traj.Open(parallelPath, traj.ModeParallel, 0)
+	if err != nil {
+		return err
+	}
+	if err := pr.Begin(0, 0); err != nil {
+		return err
+	}
+	pr.Segment(0, 1e-8, 1e-8, 40)
+	pr.Segment(1, 1e-8, 2e-8, 85)
+	if err := pr.Commit(85, 2e-8); err != nil {
+		return err
+	}
+	if err := pr.Close(); err != nil {
+		return err
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		return err
+	}
+
+	// A correctly CRC-framed frame holding an unknown opcode: the torn-
+	// tail repair must NOT swallow it — it is a hard decode error.
+	trajFrame := func(payload []byte) []byte {
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+		out = append(out, payload...)
+		return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	}
+	badOpcode := append(bytes.Clone(serial), trajFrame([]byte{0xff})...)
+
+	bitflip := bytes.Clone(serial)
+	bitflip[len(bitflip)/2] ^= 0x10 // breaks that frame's CRC: torn tail
+
+	seeds := map[string][]byte{
+		"valid-serial":   serial,
+		"valid-parallel": parallel,
+		"truncated-tail": bytes.Clone(serial[:len(serial)-5]),
+		"bitflip-frame":  bitflip,
+		"bad-opcode":     badOpcode,
+		"magic-only":     bytes.Clone(serial[:8]),
+		"not-a-log":      []byte("definitely not a trajectory log"),
 	}
 	for name, data := range seeds {
 		if err := writeSeed(dir, name, "[]byte", data); err != nil {
