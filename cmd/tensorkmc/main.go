@@ -38,6 +38,7 @@ import (
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/supervise"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 	"tensorkmc/internal/traj"
 )
 
@@ -93,6 +94,13 @@ func run(path string, quiet bool, stdout, stderr io.Writer, sig <-chan os.Signal
 	// opt-in via their deck keys.
 	set := telemetry.NewSet()
 	cfg.Telemetry = set
+	if cfg.Trace && cfg.TraceParent == "" {
+		// Mint the run's trace ID here, not in core.New: a supervisor
+		// rebuild after a crash constructs a fresh Simulation from this
+		// same Config, and pinning the parent keeps every rebuild's spans
+		// in the one trace the banner printed.
+		cfg.TraceParent = trace.New().TraceID()
+	}
 	if deck.EventLog != "" {
 		// Deferred before anything can fail or panic: the flight
 		// recorder must land on disk on every exit path, crashes
@@ -176,6 +184,9 @@ func simulate(deck *input.Deck, cfg core.Config, sup *supervise.Supervisor, quie
 	}
 	if cfg.EvalCache > 0 {
 		fmt.Fprintf(stdout, "tensorkmc: evaluation service: cache=%d entries\n", cfg.EvalCache)
+	}
+	if id := sim.TraceID(); id != "" {
+		fmt.Fprintf(stdout, "tensorkmc: trace %s (assemble with: tkmc-analyze trace %s <journals>)\n", id, id)
 	}
 
 	snapshots := deck.Snapshots

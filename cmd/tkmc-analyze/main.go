@@ -7,6 +7,7 @@
 //
 //	tkmc-analyze -box state.box [-shells 2] [-xyz solute.xyz] [-full-xyz]
 //	tkmc-analyze replay -log run.tkmctrj -to-hop N [-deck input] [-out state.tkmc]
+//	tkmc-analyze trace <trace-id> journal.jsonl...
 //
 // The replay subcommand time-travels an event-sourced TKMCTRJ1
 // trajectory log: it reconstructs the exact run state at hop N —
@@ -14,6 +15,14 @@
 // replayed observables (including the vacancy diffusivity accumulated
 // over the replay for serial logs). Parallel logs need the original
 // deck (-deck) and a target on a recorded segment boundary.
+//
+// The trace subcommand assembles one distributed trace from any number
+// of flushed flight-recorder journals (the JSONL files tensorkmc's
+// `event_log` deck key, tkmc-serve's -event-log and tkmc-ctl's
+// -event-log write): spans from every process nest into one tree —
+// controller job span, run/segment spans, per-request client eval spans
+// with their retry/failover legs, and serve/batch spans from each fleet
+// node — with orphan marks where a parent's journal was lost.
 package main
 
 import (
@@ -28,13 +37,26 @@ import (
 	"tensorkmc/internal/diffusion"
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/kmc"
+	"tensorkmc/internal/telemetry/trace"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "replay" {
-		if err := runReplay(os.Stdout, os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 && len(os.Args[1]) > 0 && os.Args[1][0] != '-' {
+		switch os.Args[1] {
+		case "replay":
+			if err := runReplay(os.Stdout, os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
+				os.Exit(1)
+			}
+		case "trace":
+			if err := runTrace(os.Stdout, os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "tkmc-analyze: unknown subcommand %q\n", os.Args[1])
+			usage(os.Stderr)
+			os.Exit(2)
 		}
 		return
 	}
@@ -44,14 +66,42 @@ func main() {
 	fullXYZ := flag.Bool("full-xyz", false, "export all atoms, not just solutes/vacancies")
 	flag.Parse()
 	if *boxPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tkmc-analyze -box <snapshot> [-shells N] [-xyz out.xyz]")
-		fmt.Fprintln(os.Stderr, "       tkmc-analyze replay -log <trajectory> -to-hop N [-deck input] [-out ck.tkmc]")
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, *boxPath, *shells, *xyz, *fullXYZ); err != nil {
 		fmt.Fprintln(os.Stderr, "tkmc-analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// usage lists every invocation form, so a typo'd subcommand tells the
+// user what does exist instead of a bare flag error.
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: tkmc-analyze -box <snapshot> [-shells N] [-xyz out.xyz] [-full-xyz]")
+	fmt.Fprintln(w, "       tkmc-analyze replay -log <trajectory> -to-hop N [-deck input] [-out ck.tkmc]")
+	fmt.Fprintln(w, "       tkmc-analyze trace <trace-id> <journal.jsonl>...")
+	fmt.Fprintln(w, "subcommands: replay (time-travel a trajectory log), trace (assemble a distributed trace)")
+}
+
+// runTrace implements the trace subcommand: collect one trace's spans
+// from the given journal files and print the assembled tree.
+func runTrace(w io.Writer, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("trace wants a trace ID and at least one journal file:\n       tkmc-analyze trace <trace-id> <journal.jsonl>...")
+	}
+	id, err := trace.ParseID(args[0])
+	if err != nil {
+		return err
+	}
+	recs, err := trace.Collect(id, args[1:])
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no spans for trace %s in %d journal file(s)", trace.ID(id), len(args)-1)
+	}
+	return trace.Assemble(id, recs).Write(w)
 }
 
 // runReplay implements the replay subcommand.

@@ -12,6 +12,8 @@
 //	         [-max-running N] [-max-queued N]
 //	         [-tenant-running N] [-tenant-queued N]
 //	         [-snapshot-every N] [-drain-timeout seconds]
+//	         [-fleet-metrics host:port]... [-federate-every seconds]
+//	         [-event-log path]
 //
 // API (on -addr):
 //
@@ -20,7 +22,8 @@
 //	GET    /jobs/{id}        one job's record
 //	DELETE /jobs/{id}        cancel at the next segment boundary
 //	GET    /jobs/{id}/events live SSE stream of the job's flight recorder
-//	GET    /metrics          tkmc_ctl_* and registry metrics
+//	GET    /metrics          cluster view: controller + running jobs (job label)
+//	                         + federated fleet nodes (node label)
 //	GET    /healthz          liveness (always 200 while the process runs)
 //	GET    /readyz           readiness (503 once draining)
 //
@@ -42,6 +45,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +58,17 @@ const (
 	exitRuntime = 1
 	exitUsage   = 2
 )
+
+// sliceFlag collects a repeatable string flag.
+type sliceFlag []string
+
+func (s *sliceFlag) String() string { return strings.Join(*s, ",") }
+
+// Set appends one occurrence.
+func (s *sliceFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 func main() {
 	sig := make(chan os.Signal, 1)
@@ -74,6 +89,10 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	tenantQueued := fs.Int("tenant-queued", 0, "per-tenant in-flight quota before 429 shedding (0 = max-queued)")
 	snapshotEvery := fs.Int("snapshot-every", 0, "WAL records between snapshot compactions (0 = default 64)")
 	drainSecs := fs.Float64("drain-timeout", 60, "max seconds to wait for running jobs to checkpoint on drain")
+	var fleetMetrics sliceFlag
+	fs.Var(&fleetMetrics, "fleet-metrics", "fleet node telemetry endpoint to federate into cluster /metrics (host:port or URL; repeatable)")
+	federateSecs := fs.Float64("federate-every", 0, "seconds between federation pulls (0 = default 15)")
+	eventLog := fs.String("event-log", "", "flush the controller's flight-recorder journal (including job trace spans) as JSONL to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -83,6 +102,13 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	}
 
 	set := telemetry.NewSet()
+	if *eventLog != "" {
+		defer func() {
+			if err := set.Events().FlushFile(*eventLog); err != nil {
+				fmt.Fprintln(stderr, "tkmc-ctl: flushing event log:", err)
+			}
+		}()
+	}
 	plane, err := ctl.Open(ctl.Config{
 		Dir:           *dataDir,
 		MaxRunning:    *maxRunning,
@@ -91,6 +117,8 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 		TenantQueued:  *tenantQueued,
 		SnapshotEvery: *snapshotEvery,
 		Telemetry:     set,
+		FleetNodes:    fleetMetrics,
+		FederateEvery: time.Duration(*federateSecs * float64(time.Second)),
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "tkmc-ctl:", err)

@@ -12,11 +12,14 @@
 //	           [-lattice Å] [-cutoff Å]
 //	           [-cache N] [-shards N] [-batch N] [-workers N] [-f32]
 //	           [-fleet N] [-idle seconds]
-//	           [-telemetry host:port]
+//	           [-telemetry host:port] [-event-log path]
 //
 // -telemetry opens the shared observability endpoint (/metrics,
-// /healthz, /events, /debug/pprof — the same mux the tensorkmc runner
-// serves) so a long-lived service is scrapable and profilable.
+// /metrics.json, /healthz, /events, /debug/pprof — the same mux the
+// tensorkmc runner serves) so a long-lived service is scrapable,
+// federable and profilable. -event-log flushes the node's
+// flight-recorder journal (including serve-side trace spans) as JSONL
+// on exit, where `tkmc-analyze trace` can pick it up.
 //
 // -fleet N runs N independent serve nodes in one process — each with
 // its own listener, cache and worker pool — for testing and
@@ -93,6 +96,7 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	idleSecs := fs.Float64("idle", 0, "idle session reap timeout in seconds (0 = default, negative = never)")
 	drainSecs := fs.Float64("drain", 5, "seconds to let in-flight sessions finish on SIGTERM before force-closing")
 	teleAddr := fs.String("telemetry", "", "telemetry HTTP address (/metrics, /healthz, /readyz, /events, pprof); empty = off")
+	eventLog := fs.String("event-log", "", "flush the flight-recorder journal (including serve-side trace spans) as JSONL to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -102,8 +106,17 @@ func realMain(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int
 	}
 
 	var set *telemetry.Set
-	if *teleAddr != "" {
+	if *teleAddr != "" || *eventLog != "" {
 		set = telemetry.NewSet()
+	}
+	if *eventLog != "" {
+		// Flushed on every exit path: the journal is the server's black
+		// box, and trace assembly reads it after the process is gone.
+		defer func() {
+			if err := set.Events().FlushFile(*eventLog); err != nil {
+				fmt.Fprintln(stderr, "tkmc-serve: flushing event log:", err)
+			}
+		}()
 	}
 	tb := encoding.New(*latticeA, *cutoff)
 	opts := evalserve.Options{

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"tensorkmc/internal/bondcount"
@@ -22,6 +23,7 @@ import (
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/sublattice"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 	"tensorkmc/internal/traj"
 	"tensorkmc/internal/units"
 )
@@ -161,6 +163,27 @@ type Config struct {
 	// streams or simulation state — so trajectories and checkpoints are
 	// bit-identical with it on or off.
 	Telemetry *telemetry.Set
+
+	// Trace enables distributed trace propagation (it needs Telemetry
+	// for the flight-recorder journal): the run mints a trace context —
+	// or adopts TraceParent — every KMC segment records a span, and eval
+	// requests through the fleet carry the context to serving nodes,
+	// where server-side spans nest under the client's. Like the rest of
+	// telemetry, tracing only reads the wall clock and appends journal
+	// events, so checkpoints stay byte-identical with it on or off.
+	Trace bool
+	// TraceParent, when set to a 16-hex-char trace ID (e.g. the TraceID
+	// minted into a control-plane job record), roots this run's spans in
+	// that existing trace instead of minting a fresh one — the hook that
+	// joins a job's segments to its controller-side lifecycle spans.
+	TraceParent string
+
+	// SLO, when any objective is set, watches the evaluation path (the
+	// latency and failure of every HopEnergies resolution) against the
+	// configured objectives and captures a black-box bundle — CPU/heap
+	// profiles, the flight-recorder window, metrics, offending trace
+	// IDs, fleet ring state — on a sustained burn.
+	SLO telemetry.SLOConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -204,6 +227,11 @@ type Simulation struct {
 	// in New so every metric family is visible in /metrics (at zero)
 	// before the first hop runs.
 	runPh, segPh, ckptPh, analyzePh *telemetry.Phase
+
+	journal   *telemetry.Journal    // span sink, nil when telemetry is off
+	traceRoot trace.Context         // run-level trace context, zero when tracing is off
+	segParent trace.Context         // what segment spans nest under (the active run span)
+	slo       *telemetry.SLOMonitor // eval-path SLO watchdog, nil unless objectives set
 }
 
 // New builds a simulation: allocates and fills the box, constructs the
@@ -249,6 +277,19 @@ func New(cfg Config) (*Simulation, error) {
 			"Executed KMC hops (serial engine steps plus parallel rank hops).")
 		cfg.Options.Telemetry = set
 		s.Cfg.Options.Telemetry = set
+		s.journal = set.Events()
+	}
+	if cfg.Trace && cfg.Telemetry != nil {
+		if cfg.TraceParent != "" {
+			id, err := trace.ParseID(cfg.TraceParent)
+			if err != nil {
+				return nil, fmt.Errorf("core: TraceParent: %w", err)
+			}
+			s.traceRoot = trace.Context{Trace: id}
+		} else {
+			s.traceRoot = trace.New()
+		}
+		s.segParent = s.traceRoot
 	}
 	s.Tables = encoding.New(cfg.LatticeConstant, cfg.Cutoff)
 	if cfg.InitialBox != nil {
@@ -325,6 +366,34 @@ func New(cfg Config) (*Simulation, error) {
 			cfg.Options.Prefetcher = s.evalSrv
 			s.Cfg.Options = cfg.Options
 		}
+	}
+	if mon := telemetry.NewSLOMonitor(cfg.SLO, cfg.Telemetry); mon != nil {
+		s.slo = mon
+		if fleet := s.fleet; fleet != nil {
+			mon.SetExtra("ring.txt", func(f *os.File) error {
+				st := fleet.Stats()
+				if _, err := fmt.Fprintf(f, "retries=%d failovers=%d fallbacks=%d reconnects=%d\n",
+					st.Retries, st.Failovers, st.Fallbacks, st.Reconnects); err != nil {
+					return err
+				}
+				for _, addr := range fleet.Nodes() {
+					if _, err := fmt.Fprintf(f, "node %s up=%v\n", addr, st.NodeUp[addr]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		// The monitor observes the outermost model — what the engines
+		// actually wait on — so cache hits, fleet legs and fallbacks all
+		// count toward the objective.
+		inner := s.mkMod
+		tid := ""
+		if s.traceRoot.Valid() {
+			tid = s.traceRoot.TraceID()
+		}
+		s.mkMod = func() kmc.Model { return &sloModel{inner: inner(), mon: mon, tid: tid} }
+		mon.Start()
 	}
 	s.model = s.mkMod()
 
@@ -419,10 +488,11 @@ func (s *Simulation) EvalStats() (st evalserve.Stats, ok bool) {
 	return s.evalSrv.Stats(), true
 }
 
-// Close releases background resources — today the evaluation service's
-// worker pool. It is idempotent and safe without a service; a closed
-// simulation must not Run again.
+// Close releases background resources — the evaluation service's
+// worker pool, the fleet client, the SLO watchdog. It is idempotent
+// and safe without a service; a closed simulation must not Run again.
 func (s *Simulation) Close() {
+	s.slo.Close()
 	if s.evalSrv != nil {
 		s.evalSrv.Close()
 	}
@@ -430,6 +500,41 @@ func (s *Simulation) Close() {
 		s.fleet.Close()
 	}
 }
+
+// sloModel wraps the outermost evaluation model with SLO observation:
+// every HopEnergies resolution is timed and reported to the monitor,
+// with a typed-panic unwind (corruption, transport exhaustion)
+// counting as a failed request. Pure observation — results pass
+// through untouched, so trajectories are unchanged.
+type sloModel struct {
+	inner kmc.Model
+	mon   *telemetry.SLOMonitor
+	tid   string // run trace ID for offender attribution, "" untraced
+}
+
+func (m *sloModel) Tables() *encoding.Tables { return m.inner.Tables() }
+
+func (m *sloModel) HopEnergies(vet encoding.VET) (initial float64, final [8]float64, valid [8]bool) {
+	start := time.Now()
+	ok := false
+	defer func() { m.mon.Observe(time.Since(start), !ok, m.tid) }()
+	initial, final, valid = m.inner.HopEnergies(vet)
+	ok = true
+	return initial, final, valid
+}
+
+// TraceID returns the canonical 16-hex-char ID of the run's distributed
+// trace — what `tkmc-analyze trace` takes — or "" when tracing is off.
+func (s *Simulation) TraceID() string {
+	if !s.traceRoot.Valid() {
+		return ""
+	}
+	return s.traceRoot.TraceID()
+}
+
+// SLO exposes the run's SLO monitor, nil unless objectives are
+// configured. Tests drive it deterministically through Tick.
+func (s *Simulation) SLO() *telemetry.SLOMonitor { return s.slo }
 
 // Fleet exposes the remote evaluation fleet client, nil when EvalFleet
 // is unset — callers use it for membership changes and health stats.
@@ -524,6 +629,14 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 	}
 	runSW := s.runPh.Start()
 	defer runSW.Stop()
+	if rsp := trace.Start(s.journal, s.traceRoot, "run"); rsp != nil {
+		prev := s.segParent
+		s.segParent = rsp.Context()
+		defer func() {
+			s.segParent = prev
+			rsp.EndMsg("duration=%.6g", duration)
+		}()
+	}
 	if s.Cfg.CheckpointPath != "" {
 		// Slice the run into checkpoint intervals, persisting crash-safe
 		// state after each. The slicing itself is part of the trajectory
@@ -575,6 +688,24 @@ func (s *Simulation) Run(duration float64, observer func(ev kmc.Event)) (Report,
 func (s *Simulation) runChunk(duration float64, observer func(ev kmc.Event)) (err error) {
 	segSW := s.segPh.Start()
 	defer segSW.Stop()
+	// One span per segment; fleet requests issued inside it mint their
+	// per-request spans under this context (SetTrace), which is how a
+	// client-side eval span ends up nested in the right segment. Defers
+	// run LIFO, so the panic-recovery conversion below has already
+	// turned a corruption/transport panic into err by the time the span
+	// closes — a failed segment records its error.
+	sp := trace.Start(s.journal, s.segParent, "segment")
+	defer func() {
+		if err != nil {
+			sp.EndMsg("error=%v", err)
+		} else {
+			sp.EndMsg("t=%.6g hops=%d", s.Time(), s.Hops())
+		}
+	}()
+	if sp != nil && s.fleet != nil {
+		s.fleet.SetTrace(sp.Context())
+		defer s.fleet.SetTrace(trace.Context{})
+	}
 	// The rate kernel's corruption tripwires (NaN/Inf propensities or
 	// energies) fire as typed panics; surface them as errors so callers
 	// — in particular the supervisor — see a non-retryable failure.

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
+)
+
+// TestTraceBitIdenticalSerial: tracing mints IDs off the wall clock and
+// a process-local counter, never an RNG stream, so a serial run's final
+// checkpoint is byte-identical with tracing on or off.
+func TestTraceBitIdenticalSerial(t *testing.T) {
+	cfgOff := telemetryTestConfig(t.TempDir(), telemetry.NewSet())
+	cfgOn := telemetryTestConfig(t.TempDir(), telemetry.NewSet())
+	cfgOn.Trace = true
+	off := runToCheckpoint(t, cfgOff, 3e-8)
+	on := runToCheckpoint(t, cfgOn, 3e-8)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("serial checkpoints differ with tracing on vs off (%d vs %d bytes)", len(off), len(on))
+	}
+}
+
+// TestTraceBitIdenticalParallel: same contract for the sublattice
+// engine, where every segment opens a span.
+func TestTraceBitIdenticalParallel(t *testing.T) {
+	cfgOff := telemetryTestConfig(t.TempDir(), telemetry.NewSet())
+	cfgOff.Ranks = [3]int{2, 1, 1}
+	cfgOn := telemetryTestConfig(t.TempDir(), telemetry.NewSet())
+	cfgOn.Ranks = [3]int{2, 1, 1}
+	cfgOn.Trace = true
+	off := runToCheckpoint(t, cfgOff, 3e-8)
+	on := runToCheckpoint(t, cfgOn, 3e-8)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("parallel checkpoints differ with tracing on vs off (%d vs %d bytes)", len(off), len(on))
+	}
+}
+
+// TestTraceSpansInJournal: a traced run emits run and segment spans
+// into the process journal, all under the one trace ID the simulation
+// reports, with segments nested under the run span.
+func TestTraceSpansInJournal(t *testing.T) {
+	set := telemetry.NewSet()
+	cfg := telemetryTestConfig(t.TempDir(), set)
+	cfg.Trace = true
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	id := sim.TraceID()
+	if id == "" {
+		t.Fatal("traced simulation reports no trace ID")
+	}
+	if _, err := sim.Run(3e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var runEv, segEv *telemetry.Event
+	for _, e := range set.Events().Events() {
+		if e.Type != trace.EventType {
+			continue
+		}
+		if e.Trace != id {
+			t.Fatalf("span outside the run's trace: %+v", e)
+		}
+		e := e
+		switch {
+		case strings.HasPrefix(e.Msg, "run"):
+			runEv = &e
+		case strings.HasPrefix(e.Msg, "segment"):
+			segEv = &e
+		}
+	}
+	if runEv == nil || segEv == nil {
+		t.Fatalf("run/segment spans missing from the journal (run=%v segment=%v)", runEv, segEv)
+	}
+	if segEv.Parent != runEv.Span {
+		t.Fatalf("segment parent %s != run span %s", segEv.Parent, runEv.Span)
+	}
+}
+
+// TestTraceParentAdopted: a configured TraceParent (what the control
+// plane mints at admission) roots the simulation's spans instead of a
+// fresh trace.
+func TestTraceParentAdopted(t *testing.T) {
+	set := telemetry.NewSet()
+	cfg := telemetryTestConfig(t.TempDir(), set)
+	cfg.Trace = true
+	cfg.TraceParent = "00000000feedbeef"
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if got := sim.TraceID(); got != "00000000feedbeef" {
+		t.Fatalf("TraceID() = %s, want the adopted parent", got)
+	}
+	if _, err := sim.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range set.Events().Events() {
+		if e.Type == trace.EventType && e.Trace != "00000000feedbeef" {
+			t.Fatalf("span escaped the adopted trace: %+v", e)
+		}
+	}
+}
+
+// TestTraceParentRejected: a malformed TraceParent is a configuration
+// error, not a silently fresh trace.
+func TestTraceParentRejected(t *testing.T) {
+	cfg := telemetryTestConfig(t.TempDir(), telemetry.NewSet())
+	cfg.Trace = true
+	cfg.TraceParent = "not-hex"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("malformed TraceParent accepted")
+	}
+}
+
+// TestTraceOffNoSpans: with Trace false nothing hits the journal and
+// TraceID is empty — the default run is untraced.
+func TestTraceOffNoSpans(t *testing.T) {
+	set := telemetry.NewSet()
+	cfg := telemetryTestConfig(t.TempDir(), set)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if id := sim.TraceID(); id != "" {
+		t.Fatalf("untraced simulation reports trace ID %s", id)
+	}
+	if _, err := sim.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range set.Events().Events() {
+		if e.Type == trace.EventType {
+			t.Fatalf("untraced run recorded a span: %+v", e)
+		}
+	}
+}
+
+// TestSLOBurnEndToEnd: an impossible latency objective over a real run
+// must violate, burn, and capture a bundle via the monitor the
+// simulation owns — driven deterministically through Tick.
+func TestSLOBurnEndToEnd(t *testing.T) {
+	set := telemetry.NewSet()
+	dir := t.TempDir()
+	cfg := telemetryTestConfig(dir, set)
+	cfg.Trace = true
+	cfg.SLO = telemetry.SLOConfig{
+		P99:        time.Nanosecond, // no real evaluation is this fast
+		Burn:       1,
+		Window:     time.Hour, // ticker never fires; the test drives Tick
+		CaptureDir: dir,
+		Profile:    -1,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.SLO() == nil {
+		t.Fatal("SLO objective configured but no monitor attached")
+	}
+	if _, err := sim.Run(1e-8, nil); err != nil {
+		t.Fatal(err)
+	}
+	violated, burned, bundle := sim.SLO().Tick()
+	if !violated || !burned || bundle == "" {
+		t.Fatalf("Tick after a run over a 1ns objective: violated=%v burned=%v bundle=%q", violated, burned, bundle)
+	}
+	// The offending trace ID — this run's — is in the bundle.
+	found := false
+	for _, e := range set.Events().Events() {
+		if e.Type == telemetry.CaptureEvent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s event journalled for the capture", telemetry.CaptureEvent)
+	}
+}
+
+// TestSLOOffByDefault: no objectives, no monitor — and the sloModel
+// wrapper must not be in the model chain.
+func TestSLOOffByDefault(t *testing.T) {
+	sim, err := New(telemetryTestConfig(t.TempDir(), telemetry.NewSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.SLO() != nil {
+		t.Fatal("monitor attached without objectives")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 	"tensorkmc/internal/traj"
 )
 
@@ -94,6 +95,12 @@ func (p *Plane) fanOutLocked(parent *job) error {
 		}
 		seq := p.nextSeq
 		p.nextSeq++
+		// Each replica is its own unit of work and gets its own trace —
+		// a 4096-replica fan-in under one trace ID would be unreadable.
+		traceID := ""
+		if deck.Config.Trace {
+			traceID = trace.New().TraceID()
+		}
 		child := &job{
 			rec: JobRecord{
 				ID:       id,
@@ -105,6 +112,7 @@ func (p *Plane) fanOutLocked(parent *job) error {
 				Duration: deck.Duration,
 				Parent:   parent.rec.ID,
 				Replica:  i,
+				TraceID:  traceID,
 			},
 			journal: telemetry.NewJournal(0),
 		}

@@ -1,0 +1,127 @@
+package ctl
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"tensorkmc/internal/telemetry"
+)
+
+// fedPullTimeout bounds one node pull. A node slower than this is down
+// for federation purposes; the next tick retries it.
+const fedPullTimeout = 5 * time.Second
+
+// startFederation launches the background puller that keeps the
+// per-node snapshot cache warm.
+func (p *Plane) startFederation() {
+	every := p.cfg.FederateEvery
+	if every <= 0 {
+		every = 15 * time.Second
+	}
+	p.fedStop = make(chan struct{})
+	p.fedWG.Add(1)
+	stop := p.fedStop
+	go func() {
+		defer p.fedWG.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		p.PullOnce()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.PullOnce()
+			}
+		}
+	}()
+}
+
+// PullOnce fetches /metrics.json from every configured fleet node,
+// caching each successful snapshot node-labelled. A down node keeps its
+// last snapshot (counters are cumulative; stale beats absent) but its
+// node-up gauge drops to 0. Exported so tests — and operators via a
+// forced scrape — can drive federation deterministically.
+func (p *Plane) PullOnce() {
+	for _, node := range p.cfg.FleetNodes {
+		snap, err := telemetry.FetchSnapshot(nodeMetricsURL(node), fedPullTimeout)
+		p.fedPulls.Inc()
+		if err != nil {
+			p.fedPullErrors.Inc()
+			p.fedMu.Lock()
+			wasUp := p.fedUp[node]
+			p.fedUp[node] = false
+			p.fedMu.Unlock()
+			if wasUp {
+				p.set.Events().Record("federate-down", "fleet node %s: %v", node, err)
+			}
+			continue
+		}
+		snap.AddLabel("node", node)
+		p.fedMu.Lock()
+		p.fedSnaps[node] = snap
+		p.fedUp[node] = true
+		p.fedMu.Unlock()
+	}
+}
+
+// nodeMetricsURL resolves a FleetNodes entry ("host:port" or a full
+// base URL) to its snapshot endpoint.
+func nodeMetricsURL(node string) string {
+	if !strings.Contains(node, "://") {
+		node = "http://" + node
+	}
+	return strings.TrimSuffix(node, "/") + "/metrics.json"
+}
+
+// ClusterSnapshot assembles the cluster-level metric view: the
+// controller's own registry, every running job's private registry
+// (job-labelled — per-job attribution of eval requests, cache traffic
+// and phase time), and the last pulled snapshot of every fleet node
+// (node-labelled). Sorted, so the layout is deterministic regardless of
+// which node answered first.
+func (p *Plane) ClusterSnapshot() telemetry.Snapshot {
+	cluster := p.set.Reg().Snapshot()
+
+	type jobTele struct {
+		id  string
+		set *telemetry.Set
+	}
+	p.mu.Lock()
+	running := make([]jobTele, 0, len(p.jobs))
+	for id, j := range p.jobs {
+		if j.tele != nil {
+			running = append(running, jobTele{id, j.tele})
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(running, func(a, b int) bool { return running[a].id < running[b].id })
+	for _, jt := range running {
+		snap := jt.set.Reg().Snapshot()
+		snap.AddLabel("job", jt.id)
+		if err := cluster.Merge(snap); err != nil {
+			p.set.Events().Record("federate-merge", "job %s: %v", jt.id, err)
+		}
+	}
+
+	p.fedMu.Lock()
+	nodes := make([]string, 0, len(p.fedSnaps))
+	for node := range p.fedSnaps {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	snaps := make([]telemetry.Snapshot, len(nodes))
+	for i, node := range nodes {
+		snaps[i] = p.fedSnaps[node]
+	}
+	p.fedMu.Unlock()
+	for i, node := range nodes {
+		if err := cluster.Merge(snaps[i]); err != nil {
+			p.set.Events().Record("federate-merge", "node %s: %v", node, err)
+		}
+	}
+
+	cluster.Sort()
+	return cluster
+}

@@ -31,6 +31,15 @@ func APIHandler(p *Plane) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", telemetry.HandlerReady(p.Telemetry(), p.Ready))
 
+	// The controller's /metrics is the cluster view: its own registry
+	// plus every running job (job label) and every federated fleet node
+	// (node label). The more specific pattern overrides the process-local
+	// /metrics the telemetry mux mounts above.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.ClusterSnapshot().WritePrometheus(w)
+	})
+
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxDeckBytes+1))
 		if err != nil {

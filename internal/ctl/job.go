@@ -107,6 +107,12 @@ type JobRecord struct {
 	// counts re-adoptions after a controller restart.
 	Preemptions int `json:"preemptions,omitempty"`
 	Restores    int `json:"restores,omitempty"`
+	// TraceID is the distributed trace this job belongs to, minted at
+	// admission for decks with tracing on ("" otherwise). The runner
+	// roots the simulation's run/segment spans in it (TraceParent), so
+	// `tkmc-analyze trace <id>` joins the controller-side job span to
+	// the job's segments and the fleet's serve spans.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is the terminal diagnostic for failed/exhausted jobs.
 	Error string `json:"error,omitempty"`
 
@@ -145,6 +151,9 @@ type job struct {
 	reason  stopReason
 	done    chan struct{} // closed when the runner has fully exited
 	journal *telemetry.Journal
+	// tele is the running job's private telemetry set, published by the
+	// runner for the cluster /metrics federation (nil while not running).
+	tele *telemetry.Set
 
 	// finalizing guards ensemble aggregation: every child's exit kicks
 	// finalizeEnsemble, but only one invocation may aggregate.

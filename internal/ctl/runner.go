@@ -10,6 +10,7 @@ import (
 	"tensorkmc/internal/input"
 	"tensorkmc/internal/supervise"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 	"tensorkmc/internal/traj"
 )
 
@@ -20,10 +21,27 @@ func (p *Plane) runJob(j *job) {
 	defer p.wg.Done()
 	defer close(j.done)
 
+	// The controller-side job span: its lifetime brackets everything the
+	// runner does, and the simulation's run/segment spans (rooted in the
+	// same trace via TraceParent) assemble underneath it.
+	var jsp *trace.Span
+	if j.rec.TraceID != "" {
+		if id, perr := trace.ParseID(j.rec.TraceID); perr == nil {
+			jsp = trace.Start(p.set.Events(), trace.Context{Trace: id}, "job "+j.rec.ID)
+		}
+	}
 	t, hops, err := p.executeJob(j)
+	if err != nil {
+		jsp.EndMsg("error=%v", err)
+	} else {
+		jsp.EndMsg("t=%.4g hops=%d", t, hops)
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// The job's private registry leaves the cluster /metrics view with
+	// the runner: federation labels only running jobs.
+	j.tele = nil
 	reason := j.reason
 	var terr error
 	switch {
@@ -128,6 +146,15 @@ func (p *Plane) executeJob(j *job) (float64, int64, error) {
 		Journal:  j.journal,
 	}
 	cfg.Telemetry.Tracer = telemetry.NewTracer(cfg.Telemetry.Registry)
+	// The journal's fill/drop counters join the job's registry (so a job
+	// overrunning its flight recorder is visible in cluster /metrics),
+	// and the registry itself is published for federation.
+	j.journal.BindMetrics(cfg.Telemetry.Registry)
+	p.mu.Lock()
+	j.tele = cfg.Telemetry
+	p.mu.Unlock()
+	// Root the simulation's spans in the trace minted at admission.
+	cfg.TraceParent = j.rec.TraceID
 
 	cfg, restored, err := core.PrepareJob(cfg, p.JobDir(j.rec.ID))
 	if err != nil {

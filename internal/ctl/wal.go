@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/telemetry"
@@ -64,6 +65,7 @@ type wal struct {
 	err  error  // sticky failure: a torn frame could not be removed
 
 	appends, fsyncs, snapshots *telemetry.Counter
+	fsyncLat                   *telemetry.Histogram
 }
 
 // openWAL opens (creating if absent) the log at path and replays its
@@ -80,6 +82,8 @@ func openWAL(path string, set *telemetry.Set) (*wal, []walRecord, error) {
 			"Control-plane WAL fsyncs (one per acknowledged transition).")
 		w.snapshots = reg.Counter(telemetry.MetricCtlWALSnapshots,
 			"Atomic snapshot compactions of the control-plane WAL.")
+		w.fsyncLat = reg.Histogram(telemetry.MetricCtlWALFsyncSecs,
+			"Control-plane WAL fsync latency in seconds — the floor under every acknowledged transition.", nil)
 	}
 
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -210,6 +214,7 @@ func (w *wal) append(job JobRecord) (uint64, error) {
 	}
 	w.appends.Inc()
 	maybeCrash(CrashWALAppend) // chaos: die with the record written but not fsynced
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// After a failed fsync the kernel may have discarded the dirty
 		// pages, so the frame's on-disk state is unknowable; fail the
@@ -218,6 +223,7 @@ func (w *wal) append(job JobRecord) (uint64, error) {
 		return 0, fmt.Errorf("ctl: fsyncing WAL: %w", err)
 	}
 	w.fsyncs.Inc()
+	w.fsyncLat.Observe(time.Since(syncStart).Seconds())
 	maybeCrash(CrashWALFsync) // chaos: die with the record durable but unapplied
 	w.n++
 	w.off += int64(frame.Len())

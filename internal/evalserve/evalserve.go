@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tensorkmc/internal/encoding"
 	"tensorkmc/internal/fault"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 )
 
 // Options tune the service; zero values take the defaults.
@@ -167,12 +169,17 @@ type response struct {
 
 // request is one pending miss. spec marks a speculative prefetch: nobody
 // waits on its done channel (buffered, so completion never blocks), and
-// workers only pick it up after all demand work.
+// workers only pick it up after all demand work. tctx, when valid,
+// carries the submitter's distributed-trace context so the fused batch
+// that resolves the request can join its trace; enq is the submission
+// time the batch span turns into a queue-wait annotation.
 type request struct {
 	vet  encoding.VET
 	env  []byte
 	hash uint64
 	spec bool
+	tctx trace.Context
+	enq  time.Time
 	done chan response
 }
 
@@ -216,7 +223,8 @@ type Server struct {
 	specBatched    atomic.Int64
 	widthHist      []atomic.Int64 // index = min(batch width, MaxBatch)
 
-	batchPh *telemetry.Phase // nil when telemetry is off
+	batchPh *telemetry.Phase   // nil when telemetry is off
+	journal *telemetry.Journal // span sink for traced requests; nil when telemetry is off
 }
 
 // New starts a service over the backend.
@@ -304,6 +312,7 @@ func (s *Server) bindTelemetry(set *telemetry.Set) {
 		"Demand lookups answered by a speculatively inserted cache entry.",
 		agg(func(c CacheStats) int64 { return c.SpecWarmHits }))
 	s.batchPh = set.Trace().PhaseAt(telemetry.PhaseEvalServe, telemetry.PhaseBatch)
+	s.journal = set.Events()
 	s.cache.setJournal(set.Events())
 }
 
@@ -329,18 +338,32 @@ func (s *Server) HopEnergies(vet encoding.VET) (initial float64, final [8]float6
 // Evaluate resolves one vacancy system, returning corruption as an error
 // (the form the wire front-end needs).
 func (s *Server) Evaluate(vet encoding.VET) (Result, error) {
+	return s.EvaluateTraced(vet, trace.Context{})
+}
+
+// EvaluateTraced is Evaluate carrying a distributed-trace context — the
+// server leg of a cross-process trace. With a valid context and live
+// telemetry, the request's resolution is recorded as a "serve" span in
+// the service's journal (cache hit, flight dedup, or queued miss), and
+// the fused batch that evaluates a queued miss hangs its own span
+// (batch fill, GEMM time, scatter) under it. An invalid context — or a
+// service without telemetry — makes this exactly Evaluate.
+func (s *Server) EvaluateTraced(vet encoding.VET, tctx trace.Context) (Result, error) {
 	if s.closed.Load() {
 		return Result{}, errors.New("evalserve: server closed")
 	}
+	sp := trace.Start(s.journal, tctx, "serve")
 	hash := s.tb.Fingerprint(vet)
 	if res, ok := s.cache.Get(hash, vet); ok {
+		sp.EndMsg("cache=hit")
 		return res, nil
 	}
-	req := &request{vet: vet, hash: hash, done: make(chan response, 1)}
+	req := &request{vet: vet, hash: hash, tctx: sp.Context(), done: make(chan response, 1)}
 	if s.joinFlight(req) {
 		// Another caller is already evaluating this exact environment;
 		// its completion answers us too.
 		resp := <-req.done
+		sp.EndMsg("cache=miss dedup=inflight")
 		return resp.res, resp.err
 	}
 	s.mu.RLock()
@@ -348,12 +371,15 @@ func (s *Server) Evaluate(vet encoding.VET) (Result, error) {
 		s.mu.RUnlock()
 		err := errors.New("evalserve: server closed")
 		s.completeFlight(req.hash, req.env, Result{}, err)
+		sp.EndMsg("error=closed")
 		return Result{}, err
 	}
+	req.enq = time.Now()
 	s.reqCh <- req // blocks when the queue is full: backpressure
 	raiseMax(&s.queueHighWater, int64(len(s.reqCh)))
 	s.mu.RUnlock()
 	resp := <-req.done
+	sp.EndMsg("cache=miss")
 	return resp.res, resp.err
 }
 
@@ -585,14 +611,30 @@ func (s *Server) serve(batch []*request) {
 	for i, r := range pending {
 		vets[i] = r.vet
 	}
+	// The fused batch joins the trace of the first traced request it
+	// serves — the lineage a cross-process tree needs to show where a
+	// queued miss actually spent its time (fill, GEMM, scatter).
+	var bsp *trace.Span
+	for _, r := range pending {
+		if r.tctx.Valid() {
+			bsp = trace.Start(s.journal, r.tctx, "batch")
+			if !r.enq.IsZero() {
+				bsp.Event("queue-wait %.3fms", float64(time.Since(r.enq).Microseconds())/1e3)
+			}
+			break
+		}
+	}
+	gemmStart := time.Now()
 	results, err := s.evaluate(vets)
 	if err != nil {
+		bsp.EndMsg("error=%v", err)
 		for _, r := range pending {
 			r.done <- response{err: err}
 			s.completeFlight(r.hash, r.env, Result{}, err)
 		}
 		return
 	}
+	gemm := time.Since(gemmStart)
 	var specN int64
 	for i, r := range pending {
 		if r.spec {
@@ -604,6 +646,7 @@ func (s *Server) serve(batch []*request) {
 		r.done <- response{res: results[i]}
 		s.completeFlight(r.hash, r.env, results[i], nil)
 	}
+	bsp.EndMsg("width=%d spec=%d gemm=%.3fms", len(pending), specN, float64(gemm.Microseconds())/1e3)
 
 	s.batches.Add(1)
 	s.batchedSystems.Add(int64(len(pending)))

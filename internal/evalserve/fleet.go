@@ -12,6 +12,7 @@ import (
 	"tensorkmc/internal/kmc"
 	"tensorkmc/internal/rng"
 	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
 )
 
 // FleetOptions tune a FleetClient; zero values take the defaults. The
@@ -151,6 +152,12 @@ type FleetClient struct {
 	failovers  atomic.Int64
 	fallbacks  atomic.Int64
 	reconnects atomic.Int64
+
+	// journal is the span sink (from opts.Telemetry); traceCtx is the
+	// ambient trace context requests mint their spans under — set per
+	// KMC segment by SetTrace, nil while tracing is off.
+	journal  *telemetry.Journal
+	traceCtx atomic.Pointer[trace.Context]
 }
 
 // DialFleet builds a fleet client over the given node addresses for the
@@ -173,6 +180,7 @@ func DialFleet(addrs []string, a, rcut float64, opts FleetOptions) (*FleetClient
 		nodes: map[string]*fleetNode{},
 		rnd:   rng.New(opts.Seed ^ 0xf1ee7),
 	}
+	fc.journal = opts.Telemetry.Events()
 	for _, addr := range fc.ring.Nodes() {
 		fc.nodes[addr] = &fleetNode{addr: addr}
 	}
@@ -331,6 +339,30 @@ func (fc *FleetClient) Nodes() []string {
 	return fc.ring.Nodes()
 }
 
+// SetTrace installs the ambient distributed-trace context under which
+// subsequent requests mint their spans — typically one context per KMC
+// segment (core calls this at segment boundaries). An invalid context
+// clears it, disabling per-request tracing. The context propagates to
+// serving nodes on version-2 wire sessions; reading it is one atomic
+// load, so untraced requests pay nothing.
+func (fc *FleetClient) SetTrace(ctx trace.Context) {
+	if !ctx.Valid() {
+		fc.traceCtx.Store(nil)
+		return
+	}
+	fc.traceCtx.Store(&ctx)
+}
+
+// startSpan opens one request's client-side span under the ambient
+// context (nil — a no-op span — while tracing is off).
+func (fc *FleetClient) startSpan() *trace.Span {
+	p := fc.traceCtx.Load()
+	if p == nil {
+		return nil
+	}
+	return trace.Start(fc.journal, *p, "eval")
+}
+
 // Stats snapshots the fleet's fault-handling counters and node health.
 func (fc *FleetClient) Stats() FleetStats {
 	st := FleetStats{
@@ -356,6 +388,7 @@ func (fc *FleetClient) Stats() FleetStats {
 // backend); with no fallback and no reachable node the last transport
 // error returns, always typed.
 func (fc *FleetClient) Evaluate(vet encoding.VET) (Result, error) {
+	sp := fc.startSpan()
 	hash := fc.tb.Fingerprint(vet)
 	fc.mu.Lock()
 	ring := fc.ring
@@ -371,19 +404,24 @@ func (fc *FleetClient) Evaluate(vet encoding.VET) (Result, error) {
 		if !ok {
 			continue // concurrently removed
 		}
-		res, err, attempted := fc.tryNode(n, vet)
+		res, err, attempted := fc.tryNode(n, vet, sp)
 		if !attempted {
 			continue // down and not due for a probe
 		}
 		if tried > 0 || i > 0 {
 			fc.failovers.Add(1)
+			sp.Event("failover node=%s ring-pos=%d", n.addr, i)
+		} else {
+			sp.Event("pick node=%s", n.addr)
 		}
 		tried++
 		if err == nil {
+			sp.EndMsg("node=%s", n.addr)
 			return res, nil
 		}
 		var ce *fault.CorruptionError
 		if errors.As(err, &ce) {
+			sp.EndMsg("error=corruption node=%s", n.addr)
 			return Result{}, err
 		}
 		lastErr = err
@@ -391,7 +429,14 @@ func (fc *FleetClient) Evaluate(vet encoding.VET) (Result, error) {
 
 	if fb := fc.opts.Fallback; fb != nil {
 		fc.fallbacks.Add(1)
-		return evalLocal(fb, vet)
+		sp.Event("local-fallback")
+		res, err := evalLocal(fb, vet)
+		if err != nil {
+			sp.EndMsg("error=%v", err)
+		} else {
+			sp.EndMsg("node=local-fallback")
+		}
+		return res, err
 	}
 	if lastErr == nil {
 		lastErr = &fault.TransportError{Op: "eval", Addr: "fleet",
@@ -401,6 +446,7 @@ func (fc *FleetClient) Evaluate(vet encoding.VET) (Result, error) {
 	if !errors.As(lastErr, &te) {
 		lastErr = &fault.TransportError{Op: "eval", Addr: "fleet", Err: lastErr}
 	}
+	sp.EndMsg("error=transport-exhausted")
 	return Result{}, lastErr
 }
 
@@ -409,7 +455,7 @@ func (fc *FleetClient) Evaluate(vet encoding.VET) (Result, error) {
 // not its scheduled probe. Holding the node mutex across the whole
 // attempt sequence serialises the session and makes the down/probe
 // bookkeeping race-free.
-func (fc *FleetClient) tryNode(n *fleetNode, vet encoding.VET) (res Result, err error, attempted bool) {
+func (fc *FleetClient) tryNode(n *fleetNode, vet encoding.VET, sp *trace.Span) (res Result, err error, attempted bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.down {
@@ -423,6 +469,7 @@ func (fc *FleetClient) tryNode(n *fleetNode, vet encoding.VET) (res Result, err 
 	for attempt := 0; attempt <= fc.opts.Retries; attempt++ {
 		if attempt > 0 {
 			fc.retries.Add(1)
+			sp.Event("retry node=%s attempt=%d", n.addr, attempt)
 			fc.opts.Sleep(fc.backoff(attempt - 1))
 		}
 		if n.cl == nil || n.cl.broken {
@@ -437,7 +484,7 @@ func (fc *FleetClient) tryNode(n *fleetNode, vet encoding.VET) (res Result, err 
 			n.cl = cl
 			n.dialed = true
 		}
-		res, rerr := n.cl.Evaluate(vet)
+		res, rerr := n.cl.EvaluateTraced(vet, sp.Context())
 		if rerr == nil {
 			n.down = false
 			n.skips = 0

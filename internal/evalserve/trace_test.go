@@ -1,0 +1,330 @@
+package evalserve
+
+import (
+	"bufio"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tensorkmc/internal/nnp"
+	"tensorkmc/internal/telemetry"
+	"tensorkmc/internal/telemetry/trace"
+	"tensorkmc/internal/units"
+)
+
+// TestWireProtocolNegotiation pins the version matrix: a default client
+// lands on v2 against a current server, a v1-pinned client gets a v1
+// session that still serves correctly, and trace contexts only cross
+// the wire on v2 sessions.
+func TestWireProtocolNegotiation(t *testing.T) {
+	set := telemetry.NewSet()
+	pot, tb := smallPotential(60)
+	srv := New(NewFusionBackend(pot, tb, F64), Options{Capacity: 64, Telemetry: set})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := Serve(srv, ln)
+	defer func() { fe.Close(); srv.Close() }()
+	addr := fe.Addr().String()
+	_ = pot
+
+	vets := sampleVETs(t, tb, 2, 61)
+
+	// Default dial negotiates the newest protocol.
+	v2, err := Dial(addr, units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.Protocol() != 2 {
+		t.Fatalf("default dial negotiated v%d, want v2", v2.Protocol())
+	}
+
+	// Pinned to v1: the session works, just without trace carriage.
+	v1, err := DialConfig{Protocol: 1}.Dial(addr, units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	if v1.Protocol() != 1 {
+		t.Fatalf("pinned dial negotiated v%d, want v1", v1.Protocol())
+	}
+
+	// Both sessions answer identically.
+	for i, vet := range vets {
+		a1, b1, c1 := v1.HopEnergies(vet)
+		a2, b2, c2 := v2.HopEnergies(vet)
+		if a1 != a2 || b1 != b2 || c1 != c2 {
+			t.Fatalf("system %d: v1 (%v) != v2 (%v)", i, a1, a2)
+		}
+	}
+
+	// A traced request on the v2 session lands a serve span whose parent
+	// is the client's span; the same call on the v1 session must not (the
+	// context cannot cross a v1 wire).
+	countServeSpans := func() int {
+		n := 0
+		for _, e := range set.Events().Events() {
+			if e.Type == trace.EventType && strings.HasPrefix(e.Msg, "serve") {
+				n++
+			}
+		}
+		return n
+	}
+	base := countServeSpans()
+	ctx := trace.Context{Trace: 0xabc123, Span: 0xdef456}
+	if _, err := v2.EvaluateTraced(vets[0], ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := countServeSpans(); got != base+1 {
+		t.Fatalf("v2 traced request produced %d serve spans, want %d", got, base+1)
+	}
+	var serveEv telemetry.Event
+	for _, e := range set.Events().Events() {
+		if e.Type == trace.EventType && strings.HasPrefix(e.Msg, "serve") {
+			serveEv = e
+		}
+	}
+	if serveEv.Trace != trace.ID(ctx.Trace) || serveEv.Parent != trace.ID(ctx.Span) {
+		t.Fatalf("serve span lineage = trace %s parent %s, want trace %s parent %s",
+			serveEv.Trace, serveEv.Parent, trace.ID(ctx.Trace), trace.ID(ctx.Span))
+	}
+	base = countServeSpans()
+	if _, err := v1.EvaluateTraced(vets[0], ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := countServeSpans(); got != base {
+		t.Fatalf("v1 session leaked a trace context to the server (%d new serve spans)", got-base)
+	}
+}
+
+// TestWireDialFallsBackToLegacyServer: against a server that predates
+// negotiation — rejects the unknown hello2 opcode with an error frame —
+// the client must transparently redial at v1.
+func TestWireDialFallsBackToLegacyServer(t *testing.T) {
+	_, tb := smallPotential(62)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(5 * time.Second))
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				p, err := readFrame(r, minFrame)
+				if err != nil {
+					return
+				}
+				// A legacy server knows only the 17-byte opHello.
+				if len(p) != 17 || p[0] != opHello {
+					writeFrame(w, errorFrame(errGeneric, "unknown frame"))
+					w.Flush()
+					return
+				}
+				ok := make([]byte, 5)
+				ok[0] = opHelloOK
+				ok[1] = byte(tb.NAll)
+				ok[2] = byte(tb.NAll >> 8)
+				writeFrame(w, ok)
+				w.Flush()
+			}(conn)
+		}
+	}()
+
+	cl, err := Dial(ln.Addr().String(), units.LatticeConstantFe, units.CutoffShort)
+	if err != nil {
+		t.Fatalf("dial against a legacy server failed instead of falling back: %v", err)
+	}
+	defer cl.Close()
+	if cl.Protocol() != 1 {
+		t.Fatalf("fallback session negotiated v%d, want v1", cl.Protocol())
+	}
+}
+
+// tracedFleet boots n nodes, each with its own telemetry set (its own
+// process journal, as in production), plus a traced fleet client.
+func tracedFleet(t *testing.T, n int, seed uint64) ([]*Frontend, []*telemetry.Set, []string, *telemetry.Set, *FleetClient, *nnp.Potential) {
+	t.Helper()
+	fes := make([]*Frontend, n)
+	sets := make([]*telemetry.Set, n)
+	addrs := make([]string, n)
+	var pot *nnp.Potential
+	for i := range fes {
+		sets[i] = telemetry.NewSet()
+		p, tb := smallPotential(seed)
+		srv := New(NewFusionBackend(p, tb, F64), Options{Capacity: 256, Telemetry: sets[i]})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fes[i] = Serve(srv, ln)
+		addrs[i] = ln.Addr().String()
+		pot = p
+		idx := i
+		t.Cleanup(func() { fes[idx].Close(); srv.Close() })
+	}
+	clientSet := telemetry.NewSet()
+	opts := quietFleet()
+	opts.Retries = 1
+	opts.Telemetry = clientSet
+	fc, err := DialFleet(addrs, units.LatticeConstantFe, units.CutoffShort, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fc.Close() })
+	return fes, sets, addrs, clientSet, fc, pot
+}
+
+// TestFleetTraceFailoverAssembled is the acceptance chaos check: one
+// traced request stream through a 3-node fleet, a node killed mid-
+// stream, then `trace.Collect` + `Assemble` over every process's
+// flushed journal must produce one tree holding the client's eval spans
+// with an explicit failover leg AND the surviving nodes' serve spans
+// nested under the eval spans that triggered them.
+func TestFleetTraceFailoverAssembled(t *testing.T) {
+	fes, sets, addrs, clientSet, fc, _ := tracedFleet(t, 3, 63)
+
+	tb := fc.Tables()
+	vets := sampleVETs(t, tb, 10, 64)
+	// Make sure the victim owns at least one sampled key, or the kill
+	// would never be observed (see TestFleetFailoverOnNodeKill).
+	victim := 1
+	ownsOne := func() bool {
+		for _, vet := range vets {
+			if fc.ring.Owner(tb.Fingerprint(vet)) == addrs[victim] {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := uint64(200); !ownsOne(); seed++ {
+		if seed == 250 {
+			t.Fatal("no sampled key owned by the victim node after 50 batches")
+		}
+		vets = append(vets, sampleVETs(t, tb, 10, seed)...)
+	}
+
+	// The "segment": one root context, one segment span, per-request eval
+	// spans underneath — exactly what core.runChunk sets up.
+	root := trace.New()
+	seg := trace.Start(clientSet.Events(), root, "segment")
+	fc.SetTrace(seg.Context())
+
+	for _, vet := range vets {
+		fc.HopEnergies(vet)
+	}
+	fes[victim].Close() // node dies mid-traced-stream
+	for _, vet := range vets {
+		fc.HopEnergies(vet)
+	}
+	fc.SetTrace(trace.Context{})
+	seg.End()
+
+	if fc.Stats().Failovers == 0 {
+		t.Fatal("kill produced no failovers — the chaos premise failed")
+	}
+
+	// Flush every process journal, exactly as the real deployment does on
+	// exit, and assemble the trace from the files.
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "client.jsonl")}
+	if err := clientSet.Events().FlushFile(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range sets {
+		p := filepath.Join(dir, "node"+string(rune('0'+i))+".jsonl")
+		if err := set.Events().FlushFile(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	recs, err := trace.Collect(root.Trace, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trace.Assemble(root.Trace, recs)
+	if tree.Spans() < 3 {
+		t.Fatalf("assembled only %d spans", tree.Spans())
+	}
+
+	// Walk the tree: the failover leg and a cross-process serve span. A
+	// failover event names the replica the request moved TO; the killed
+	// node shows up as the pick that preceded it under the same eval
+	// span, so assert an eval span carrying both.
+	var sawFailoverLeg, sawServeUnderEval bool
+	var walk func(n *trace.Node, underEval bool)
+	walk = func(n *trace.Node, underEval bool) {
+		if strings.HasPrefix(n.Name, "eval") {
+			pickedVictim, failedOver := false, false
+			for _, c := range n.Children {
+				if strings.HasPrefix(c.Name, "pick node="+addrs[victim]) {
+					pickedVictim = true
+				}
+				if strings.HasPrefix(c.Name, "failover node=") {
+					failedOver = true
+				}
+			}
+			if pickedVictim && failedOver {
+				sawFailoverLeg = true
+			}
+		}
+		if underEval && strings.HasPrefix(n.Name, "serve") {
+			sawServeUnderEval = true
+		}
+		for _, c := range n.Children {
+			walk(c, underEval || strings.HasPrefix(n.Name, "eval"))
+		}
+	}
+	walk(tree, false)
+	if !sawFailoverLeg {
+		var sb strings.Builder
+		tree.Write(&sb)
+		t.Fatalf("assembled trace has no failover leg for the killed node:\n%s", sb.String())
+	}
+	if !sawServeUnderEval {
+		var sb strings.Builder
+		tree.Write(&sb)
+		t.Fatalf("no serve span nested under an eval span — the context did not cross the wire:\n%s", sb.String())
+	}
+
+	// The segment span roots the tree (not an orphan).
+	if len(tree.Children) == 0 || !strings.HasPrefix(tree.Children[0].Name, "segment") {
+		var sb strings.Builder
+		tree.Write(&sb)
+		t.Fatalf("segment span is not the tree root:\n%s", sb.String())
+	}
+	for _, c := range tree.Children {
+		if c.Orphan && !strings.HasPrefix(c.Name, "serve") {
+			t.Errorf("unexpected orphan %q", c.Name)
+		}
+	}
+}
+
+// TestFleetUntracedPaysNothing: without SetTrace, no spans hit any
+// journal — the zero-cost-when-off contract.
+func TestFleetUntracedPaysNothing(t *testing.T) {
+	_, sets, _, clientSet, fc, _ := tracedFleet(t, 2, 65)
+	tb := fc.Tables()
+	for _, vet := range sampleVETs(t, tb, 4, 66) {
+		fc.HopEnergies(vet)
+	}
+	for _, set := range append(sets, clientSet) {
+		for _, e := range set.Events().Events() {
+			if e.Type == trace.EventType {
+				t.Fatalf("untraced run recorded a span: %+v", e)
+			}
+		}
+	}
+}

@@ -319,3 +319,44 @@ func TestEvalFleetKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestObservabilityKeys(t *testing.T) {
+	deck := "cells 4 4 4\nduration 1e-8\n" +
+		"trace on\nslo_p99 0.005\nslo_error_rate 0.01\nslo_window 30\nslo_burn 3\nblackbox_dir /tmp/bb\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Config
+	if !c.Trace {
+		t.Fatal("trace on misparsed")
+	}
+	if c.SLO.P99 != 5*time.Millisecond || c.SLO.ErrorRate != 0.01 ||
+		c.SLO.Window != 30*time.Second || c.SLO.Burn != 3 || c.SLO.CaptureDir != "/tmp/bb" {
+		t.Fatalf("slo keys misparsed: %+v", c.SLO)
+	}
+
+	// trace off is the default and explicit off parses.
+	d, err = Parse(strings.NewReader("cells 4 4 4\nduration 1\ntrace off\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Trace {
+		t.Fatal("trace off misparsed")
+	}
+
+	for name, bad := range map[string]string{
+		"bad trace":         "cells 4 4 4\nduration 1\ntrace maybe\n",
+		"neg p99":           "cells 4 4 4\nduration 1\nslo_p99 -1\n",
+		"rate over 1":       "cells 4 4 4\nduration 1\nslo_error_rate 1.5\n",
+		"zero burn":         "cells 4 4 4\nduration 1\nslo_p99 1\nslo_burn 0\n",
+		"window sans slo":   "cells 4 4 4\nduration 1\nslo_window 30\n",
+		"burn sans slo":     "cells 4 4 4\nduration 1\nslo_burn 2\n",
+		"capture sans slo":  "cells 4 4 4\nduration 1\nblackbox_dir /tmp/x\n",
+		"blackbox no value": "cells 4 4 4\nduration 1\nslo_p99 1\nblackbox_dir\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -464,6 +464,43 @@ func (s *Snapshot) Merge(o Snapshot) error {
 	return nil
 }
 
+// AddLabel prepends key="value" to every series in the snapshot. It is
+// the federation relabelling step: a node's snapshot gets its node
+// label (and a job's its job label) at pull time, so identically named
+// series from different origins stay distinct when merged into the
+// cluster view.
+func (s *Snapshot) AddLabel(key, value string) {
+	rendered := key + `="` + escapeLabel(value) + `"`
+	for fi := range s.Families {
+		f := &s.Families[fi]
+		for si := range f.Series {
+			ss := &f.Series[si]
+			if ss.Labels == "" {
+				ss.Labels = "{" + rendered + "}"
+			} else {
+				ss.Labels = "{" + rendered + "," + ss.Labels[1:]
+			}
+		}
+	}
+}
+
+// Sort orders families by name and each family's series by label set.
+// Merge appends unknown families and series in encounter order, so a
+// multi-origin merge is order-sensitive in its layout (never in its
+// values); sorting afterwards makes the federated snapshot
+// deterministic no matter which node answered first.
+func (s *Snapshot) Sort() {
+	sort.SliceStable(s.Families, func(i, j int) bool {
+		return s.Families[i].Name < s.Families[j].Name
+	})
+	for fi := range s.Families {
+		f := &s.Families[fi]
+		sort.SliceStable(f.Series, func(i, j int) bool {
+			return f.Series[i].Labels < f.Series[j].Labels
+		})
+	}
+}
+
 // formatFloat renders a value the way Prometheus text exposition
 // expects (shortest round-trip form; +Inf spelled literally).
 func formatFloat(v float64) string {

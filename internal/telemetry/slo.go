@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLOConfig defines latency/error objectives over the evaluation path
+// and what to do when they burn. The zero value disables monitoring
+// (NewSLOMonitor returns nil).
+type SLOConfig struct {
+	// P99 is the p99 latency objective for one eval request (HopEnergies
+	// through cache, fleet and wire). Zero disables the latency check.
+	P99 time.Duration
+	// ErrorRate is the maximum tolerated error fraction per window
+	// (failed requests / total). Zero disables the error check.
+	ErrorRate float64
+	// Window is how much observation each SLO evaluation covers
+	// (default 10s).
+	Window time.Duration
+	// Burn is how many consecutive violating windows trigger a
+	// black-box capture (default 3) — one bad window is noise, a
+	// sustained burn is an incident.
+	Burn int
+	// CaptureDir is where capture bundles land (default "blackbox");
+	// each capture gets its own timestamped subdirectory.
+	CaptureDir string
+	// Profile is the CPU profile length recorded into a capture
+	// (default 1s; set negative to skip CPU profiling).
+	Profile time.Duration
+}
+
+func (c SLOConfig) enabled() bool { return c.P99 > 0 || c.ErrorRate > 0 }
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Burn <= 0 {
+		c.Burn = 3
+	}
+	if c.CaptureDir == "" {
+		c.CaptureDir = "blackbox"
+	}
+	if c.Profile == 0 {
+		c.Profile = time.Second
+	}
+	return c
+}
+
+// sloMaxSample bounds the per-window latency sample. Windows hotter
+// than this estimate p99 from the first sloMaxSample observations —
+// plenty for a violation check, and it keeps Observe allocation-free
+// after warm-up.
+const sloMaxSample = 8192
+
+// SLOMonitor watches eval-path latency and errors against objectives
+// and, on a sustained burn, captures a black-box bundle: the evidence a
+// human needs after the fact (profiles, the flight-recorder window,
+// metrics, offending trace IDs). The nil monitor — objectives disabled
+// — is a no-op on every method, so the serving path stays
+// unconditional.
+type SLOMonitor struct {
+	cfg SLOConfig
+	set *Set
+
+	windows    *Counter
+	violations *Counter
+	burns      *Counter
+	captures   *Counter
+
+	mu     sync.Mutex
+	lat    []time.Duration
+	total  int64
+	errs   int64
+	traces map[string]struct{}
+	burn   int
+	seq    atomic.Int64
+
+	extraMu sync.Mutex
+	extras  map[string]func(w *os.File) error
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewSLOMonitor builds a monitor over the process's telemetry set.
+// Returns nil (a valid no-op) when no objective is configured.
+func NewSLOMonitor(cfg SLOConfig, set *Set) *SLOMonitor {
+	if !cfg.enabled() {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	reg := set.Reg()
+	return &SLOMonitor{
+		cfg:        cfg,
+		set:        set,
+		windows:    reg.Counter(MetricSLOWindows, "SLO windows evaluated."),
+		violations: reg.Counter(MetricSLOViolations, "SLO windows that violated an objective."),
+		burns:      reg.Counter(MetricSLOBurns, "Sustained SLO burns (consecutive violations reaching the burn threshold)."),
+		captures:   reg.Counter(MetricSLOCaptures, "Black-box capture bundles written."),
+		traces:     map[string]struct{}{},
+		stop:       make(chan struct{}),
+	}
+}
+
+// Observe records one eval request: its latency, whether it failed, and
+// the trace it belonged to ("" when untraced). Safe for concurrent use
+// and a no-op on the nil monitor.
+func (m *SLOMonitor) Observe(d time.Duration, failed bool, traceID string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total++
+	if failed {
+		m.errs++
+	}
+	if len(m.lat) < sloMaxSample {
+		m.lat = append(m.lat, d)
+	}
+	if traceID != "" && len(m.traces) < 64 {
+		m.traces[traceID] = struct{}{}
+	}
+	m.mu.Unlock()
+}
+
+// SetExtra registers an additional file to include in capture bundles
+// (e.g. the fleet ring state). fn receives the open file to write.
+func (m *SLOMonitor) SetExtra(name string, fn func(w *os.File) error) {
+	if m == nil {
+		return
+	}
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	if m.extras == nil {
+		m.extras = map[string]func(w *os.File) error{}
+	}
+	m.extras[name] = fn
+}
+
+// Tick closes the current observation window, evaluates it against the
+// objectives, and — if this window completes a burn — captures a
+// black-box bundle. It returns what happened so tests can drive the
+// monitor deterministically without the background ticker; bundle is
+// the capture directory ("" when no capture fired).
+func (m *SLOMonitor) Tick() (violated, burned bool, bundle string) {
+	if m == nil {
+		return false, false, ""
+	}
+	m.mu.Lock()
+	lat := m.lat
+	total, errs := m.total, m.errs
+	traces := m.traces
+	m.lat = make([]time.Duration, 0, cap(lat))
+	m.total, m.errs = 0, 0
+	m.traces = map[string]struct{}{}
+
+	m.windows.Inc()
+	if total > 0 {
+		if m.cfg.P99 > 0 && percentile(lat, 0.99) > m.cfg.P99 {
+			violated = true
+		}
+		if m.cfg.ErrorRate > 0 && float64(errs)/float64(total) > m.cfg.ErrorRate {
+			violated = true
+		}
+	}
+	if violated {
+		m.violations.Inc()
+		m.burn++
+	} else {
+		m.burn = 0
+	}
+	burned = m.burn >= m.cfg.Burn
+	if burned {
+		m.burns.Inc()
+		m.burn = 0
+	}
+	m.mu.Unlock()
+
+	if !burned {
+		return violated, false, ""
+	}
+	ids := make([]string, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	dir, err := m.capture(ids)
+	if err != nil {
+		m.set.Events().Record("warn", "blackbox capture failed: %v", err)
+		return violated, true, ""
+	}
+	m.captures.Inc()
+	m.set.Events().Record(CaptureEvent, "slo burn: bundle %s (%d offending traces)", dir, len(ids))
+	return violated, true, dir
+}
+
+// percentile returns the p-th percentile of the sample (nearest-rank).
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// capture writes one black-box bundle into a fresh timestamped
+// directory and returns its path.
+func (m *SLOMonitor) capture(traceIDs []string) (string, error) {
+	stamp := time.Now().UTC().Format("20060102T150405")
+	dir := filepath.Join(m.cfg.CaptureDir, fmt.Sprintf("blackbox-%s-%03d", stamp, m.seq.Add(1)))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	writeFile := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	// CPU profile first: it samples the live incident, everything else
+	// snapshots state.
+	if m.cfg.Profile > 0 {
+		err := writeFile("cpu.pprof", func(f *os.File) error {
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err // another profiler active; skip, keep the bundle
+			}
+			time.Sleep(m.cfg.Profile)
+			pprof.StopCPUProfile()
+			return nil
+		})
+		if err != nil {
+			os.Remove(filepath.Join(dir, "cpu.pprof"))
+		}
+	}
+	if err := writeFile("heap.pprof", func(f *os.File) error {
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile("events.jsonl", func(f *os.File) error {
+		return m.set.Events().WriteJSONL(f)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile("metrics.prom", func(f *os.File) error {
+		return m.set.Reg().WritePrometheus(f)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile("traces.txt", func(f *os.File) error {
+		for _, id := range traceIDs {
+			if _, err := fmt.Fprintln(f, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	m.extraMu.Lock()
+	names := make([]string, 0, len(m.extras))
+	for name := range m.extras {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]func(*os.File) error, len(names))
+	for i, name := range names {
+		fns[i] = m.extras[name]
+	}
+	m.extraMu.Unlock()
+	for i, name := range names {
+		if err := writeFile(name, fns[i]); err != nil {
+			return "", err
+		}
+	}
+	return dir, nil
+}
+
+// Start launches the background ticker that calls Tick every window.
+// No-op on the nil monitor.
+func (m *SLOMonitor) Start() {
+	if m == nil {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.cfg.Window)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the background ticker (idempotent, nil-safe).
+func (m *SLOMonitor) Close() {
+	if m == nil {
+		return
+	}
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}

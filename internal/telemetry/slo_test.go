@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloSet builds a telemetry set for monitor tests.
+func sloSet() *Set { return NewSet() }
+
+func TestSLOMonitorDisabled(t *testing.T) {
+	if m := NewSLOMonitor(SLOConfig{}, sloSet()); m != nil {
+		t.Fatal("zero config built a live monitor")
+	}
+	var m *SLOMonitor
+	m.Observe(time.Second, true, "dead")
+	m.SetExtra("x", nil)
+	if v, b, dir := m.Tick(); v || b || dir != "" {
+		t.Fatal("nil monitor ticked as live")
+	}
+	m.Start()
+	m.Close()
+}
+
+// TestSLOBurnCapturesBundle drives a latency burn deterministically
+// through Tick and checks the bundle holds every advertised artifact —
+// including the offending trace IDs and a registered extra.
+func TestSLOBurnCapturesBundle(t *testing.T) {
+	dir := t.TempDir()
+	set := sloSet()
+	set.Events().Record("context", "an event the bundle should carry")
+	m := NewSLOMonitor(SLOConfig{
+		P99:        time.Millisecond,
+		Burn:       2,
+		CaptureDir: dir,
+		Profile:    -1, // skip the CPU profile: no 1s sleep in tests
+	}, set)
+	if m == nil {
+		t.Fatal("monitor did not enable")
+	}
+	defer m.Close()
+
+	// Window 1: violating (every request far over the objective).
+	for i := 0; i < 10; i++ {
+		m.Observe(50*time.Millisecond, false, "00000000deadbeef")
+	}
+	v, b, bundle := m.Tick()
+	if !v || b || bundle != "" {
+		t.Fatalf("window 1: violated=%v burned=%v bundle=%q, want violation only", v, b, bundle)
+	}
+
+	// Window 2: still violating — completes the burn and captures.
+	m.Observe(80*time.Millisecond, true, "00000000cafef00d")
+	m.SetExtra("ring.txt", func(f *os.File) error {
+		_, err := f.WriteString("node 0 up\n")
+		return err
+	})
+	v, b, bundle = m.Tick()
+	if !v || !b || bundle == "" {
+		t.Fatalf("window 2: violated=%v burned=%v bundle=%q, want a capture", v, b, bundle)
+	}
+
+	for _, name := range []string{"heap.pprof", "events.jsonl", "metrics.prom", "traces.txt", "ring.txt"} {
+		if _, err := os.Stat(filepath.Join(bundle, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "cpu.pprof")); err == nil {
+		t.Error("cpu.pprof written despite Profile < 0")
+	}
+	traces, err := os.ReadFile(filepath.Join(bundle, "traces.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only window 2's traces: each Tick swaps the window state out.
+	if got := strings.TrimSpace(string(traces)); got != "00000000cafef00d" {
+		t.Errorf("traces.txt = %q, want the burning window's trace", got)
+	}
+	events, err := os.ReadFile(filepath.Join(bundle, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), "an event the bundle should carry") {
+		t.Error("flight-recorder window missing from events.jsonl")
+	}
+
+	// The capture is journalled, and the counters account for the story.
+	var captureLogged bool
+	for _, e := range set.Events().Events() {
+		if e.Type == CaptureEvent && strings.Contains(e.Msg, bundle) {
+			captureLogged = true
+		}
+	}
+	if !captureLogged {
+		t.Errorf("no %s event naming the bundle", CaptureEvent)
+	}
+	assertCounter := func(name string, want float64) {
+		t.Helper()
+		for _, f := range set.Reg().Snapshot().Families {
+			if f.Name == name {
+				if f.Series[0].Value != want {
+					t.Errorf("%s = %g, want %g", name, f.Series[0].Value, want)
+				}
+				return
+			}
+		}
+		t.Errorf("counter %s not registered", name)
+	}
+	assertCounter(MetricSLOWindows, 2)
+	assertCounter(MetricSLOViolations, 2)
+	assertCounter(MetricSLOBurns, 1)
+	assertCounter(MetricSLOCaptures, 1)
+}
+
+// TestSLOHealthyWindowResetsBurn pins the consecutive-violation
+// semantics: a clean window between two bad ones restarts the count,
+// and an empty window (no traffic) is healthy, not violating.
+func TestSLOHealthyWindowResetsBurn(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{
+		ErrorRate:  0.1,
+		Burn:       2,
+		CaptureDir: t.TempDir(),
+		Profile:    -1,
+	}, sloSet())
+	defer m.Close()
+
+	bad := func() (bool, bool) {
+		for i := 0; i < 10; i++ {
+			m.Observe(time.Millisecond, i < 5, "") // 50% errors
+		}
+		v, b, _ := m.Tick()
+		return v, b
+	}
+	if v, b := bad(); !v || b {
+		t.Fatalf("bad window 1: violated=%v burned=%v", v, b)
+	}
+	// Empty window: no observations at all. Must not extend the burn.
+	if v, b, _ := m.Tick(); v || b {
+		t.Fatalf("empty window: violated=%v burned=%v, want healthy", v, b)
+	}
+	if v, b := bad(); !v || b {
+		t.Fatalf("bad window 2 after reset: violated=%v burned=%v, want no burn yet", v, b)
+	}
+	if v, b := bad(); !v || !b {
+		t.Fatalf("bad window 3: violated=%v burned=%v, want the burn", v, b)
+	}
+}
+
+// TestSLOErrorRateWithinObjective: failures below the tolerated
+// fraction do not violate.
+func TestSLOErrorRateWithinObjective(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{ErrorRate: 0.5, Profile: -1, CaptureDir: t.TempDir()}, sloSet())
+	defer m.Close()
+	for i := 0; i < 10; i++ {
+		m.Observe(time.Millisecond, i == 0, "") // 10% < 50%
+	}
+	if v, _, _ := m.Tick(); v {
+		t.Fatal("10% errors violated a 50% objective")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	if got := percentile(lat, 0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 of 1..100ms = %v, want 99ms", got)
+	}
+	if got := percentile(lat[:1], 0.99); got != time.Millisecond {
+		t.Errorf("p99 of a single sample = %v, want that sample", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("p99 of nothing = %v, want 0", got)
+	}
+}

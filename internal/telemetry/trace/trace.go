@@ -1,0 +1,221 @@
+// Package trace implements distributed trace propagation for the
+// TensorKMC cluster: a compact 16-byte trace/span context minted per
+// KMC segment and per eval batch, carried across process boundaries in
+// the evalserve wire protocol and in control-plane job records, with
+// completed spans emitted into each process's flight-recorder journal
+// (telemetry.Journal). `tkmc-analyze trace <id>` reassembles the
+// cross-process span tree from the flushed JSONL journals.
+//
+// Everything is nil-safe, mirroring the telemetry package: a nil
+// *Span — what Start returns when the journal is nil or the parent
+// context is invalid — turns every method into a no-op, so
+// instrumented code carries no conditionals. Minting only reads the
+// wall clock and a process-local counter; it never touches an RNG
+// stream or simulation state, which keeps traced and untraced runs
+// bit-identical.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tensorkmc/internal/telemetry"
+)
+
+// ContextSize is the wire footprint of a Context: two little-endian
+// uint64s (trace ID, span ID).
+const ContextSize = 16
+
+// EventType is the journal event type under which spans are recorded.
+const EventType = "span"
+
+// Context is the propagated trace context: which trace an operation
+// belongs to (Trace) and which span it should nest under (Span). A
+// zero Trace is the invalid context — tracing off. Span may be zero in
+// a root context (a trace with no spans yet).
+type Context struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c Context) Valid() bool { return c.Trace != 0 }
+
+// TraceID renders the trace ID as the canonical 16-hex-char string
+// used in journals, job records and `tkmc-analyze trace`.
+func (c Context) TraceID() string { return ID(c.Trace) }
+
+// ID renders one trace or span ID in canonical form.
+func ID(v uint64) string {
+	// Hand-rolled hex: ID runs three times per recorded span event, and
+	// fmt.Sprintf("%016x") costs ~10x this loop.
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a canonical 16-hex-char ID (shorter forms are
+// accepted; the value just has to be a non-zero hex uint64).
+func ParseID(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: invalid ID %q: %w", s, err)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("trace: zero ID")
+	}
+	return v, nil
+}
+
+// Encode writes the context into b (at least ContextSize bytes),
+// little-endian trace then span.
+func (c Context) Encode(b []byte) {
+	putU64(b[0:8], c.Trace)
+	putU64(b[8:16], c.Span)
+}
+
+// Decode reads a context from b (at least ContextSize bytes).
+func Decode(b []byte) Context {
+	return Context{Trace: getU64(b[0:8]), Span: getU64(b[8:16])}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// mintState seeds ID minting once per process from the wall clock and
+// PID, then advances by a large odd constant per mint — every ID in a
+// process is distinct, and two processes starting in the same
+// nanosecond still diverge on PID. IDs are identifiers, not randomness:
+// nothing simulates with them, so minting never touches an RNG stream.
+var mintState atomic.Uint64
+
+func init() {
+	mintState.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<48)
+}
+
+// mint returns a fresh non-zero ID (splitmix64 finaliser over a
+// Weyl-sequence counter).
+func mint() uint64 {
+	for {
+		x := mintState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// New mints a fresh trace and returns its root context (Span zero): a
+// handle for Start to hang the trace's first span under.
+func New() Context { return Context{Trace: mint()} }
+
+// Span is one timed operation within a trace, recording into a
+// flight-recorder journal when it ends. A nil *Span (tracing off) is a
+// no-op.
+type Span struct {
+	jr     *telemetry.Journal
+	ctx    Context
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start opens a span named name under the parent context, minting a
+// fresh span ID within the parent's trace. It returns nil — a no-op
+// span — when the journal is nil or the parent context invalid, so
+// callers never branch on whether tracing is live.
+func Start(jr *telemetry.Journal, parent Context, name string) *Span {
+	if jr == nil || !parent.Valid() {
+		return nil
+	}
+	return &Span{
+		jr:     jr,
+		ctx:    Context{Trace: parent.Trace, Span: mint()},
+		parent: parent.Span,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Context returns the span's own context — what gets propagated to
+// child operations (and over the wire). Zero on a nil span.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return s.ctx
+}
+
+// Event records an instantaneous annotation under the span — a retry,
+// a failover leg, a ring pick — as its own zero-duration child span.
+func (s *Span) Event(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	s.jr.RecordEvent(telemetry.Event{
+		Type:   EventType,
+		Msg:    msg,
+		Sim:    -1,
+		Trace:  ID(s.ctx.Trace),
+		Span:   ID(mint()),
+		Parent: ID(s.ctx.Span),
+	})
+}
+
+// End completes the span, recording it (name, duration, lineage) into
+// the journal.
+func (s *Span) End() { s.EndMsg("") }
+
+// EndMsg is End with a detail suffix appended to the span name
+// ("serve cache=miss"). An empty format records the bare name.
+func (s *Span) EndMsg(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	msg := s.name
+	switch {
+	case format == "":
+	case len(args) == 0:
+		msg += " " + format
+	default:
+		msg += " " + fmt.Sprintf(format, args...)
+	}
+	e := telemetry.Event{
+		Type:  EventType,
+		Msg:   msg,
+		Sim:   -1,
+		Trace: ID(s.ctx.Trace),
+		Span:  ID(s.ctx.Span),
+		Dur:   time.Since(s.start).Seconds(),
+	}
+	if s.parent != 0 {
+		e.Parent = ID(s.parent)
+	}
+	s.jr.RecordEvent(e)
+}

@@ -15,7 +15,11 @@
 //   - trajectory-recording overhead > 5%: the event log has fallen off
 //     the buffered fast path and is taxing every hop;
 //   - bytes per logged event outside (0, 512]: the wire encoding has
-//     bloated (or the report is nonsense).
+//     bloated (or the report is nonsense);
+//   - distributed-tracing overhead > 2% of a work-bearing (cache-miss)
+//     eval request: the span machinery has structurally regressed — e.g.
+//     spans started flushing synchronously instead of appending to the
+//     flight-recorder ring.
 //
 // The thresholds are deliberately loose screens against structural
 // regression, not performance SLOs: CI machines are noisy, so the gate
@@ -44,18 +48,24 @@ import (
 // the varint encoding has structurally regressed. maxBytesPerEvent is a
 // sanity bound on the TKMCTRJ1 encoding — a hop frame is ~20 bytes and
 // even a snapshot-bearing log averages far under this.
+// maxTraceOverhead is the distributed-tracing budget: a traced eval
+// request adds two ring records client-side and one server-side, a
+// fixed sub-µs tax that must stay ≤ 2% of the cache-miss request it
+// rides on (the batch-pipeline evaluation — the request that carries
+// the simulation's work).
 const (
 	minOccupancy      = 1.5
 	wideTolerance     = 1.10
 	minSpecHitRate    = 0.5
 	maxRecordOverhead = 0.05
 	maxBytesPerEvent  = 512.0
+	maxTraceOverhead  = 0.02
 )
 
 func main() {
 	paths := os.Args[1:]
 	if len(paths) == 0 {
-		paths = []string{"BENCH_evalserve.json", "BENCH_traj.json"}
+		paths = []string{"BENCH_evalserve.json", "BENCH_traj.json", "BENCH_trace.json"}
 	}
 	ok := true
 	for _, path := range paths {
@@ -67,9 +77,12 @@ func main() {
 		if err := json.Unmarshal(raw, &report); err != nil {
 			fail("parsing %s: %v", path, err)
 		}
-		if _, isTraj := report["record_overhead"]; isTraj {
+		switch {
+		case hasKey(report, "record_overhead"):
 			ok = gateTraj(path, report) && ok
-		} else {
+		case hasKey(report, "trace_ns_per_request"):
+			ok = gateTrace(path, report) && ok
+		default:
 			ok = gateEvalserve(path, report) && ok
 		}
 	}
@@ -150,6 +163,42 @@ func gateTraj(path string, report map[string]float64) bool {
 	if ok {
 		fmt.Printf("benchgate ok (%s): recording overhead %.2f%% (≤ %.0f%%), %.1f B/event (≤ %.0f)\n",
 			path, 100*overhead, 100*maxRecordOverhead, perEvent, maxBytesPerEvent)
+	}
+	return ok
+}
+
+// hasKey reports whether the report carries the kind-detecting key.
+func hasKey(report map[string]float64, key string) bool {
+	_, ok := report[key]
+	return ok
+}
+
+// gateTrace screens the distributed-tracing report.
+func gateTrace(path string, report map[string]float64) bool {
+	var missing []string
+	overhead := need(report, &missing, "trace_overhead")
+	traceNs := need(report, &missing, "trace_ns_per_request")
+	missNs := need(report, &missing, "miss_ns_per_request")
+	if len(missing) > 0 {
+		fail("%s missing %s — run the tracing bench first "+
+			"(go test -bench TraceRequestOverhead -benchtime=1x .)",
+			path, strings.Join(missing, ", "))
+	}
+
+	ok := true
+	if overhead > maxTraceOverhead {
+		fmt.Fprintf(os.Stderr, "FAIL: per-request tracing overhead %.2f%% > %.0f%% — the span machinery is taxing the eval path\n",
+			100*overhead, 100*maxTraceOverhead)
+		ok = false
+	}
+	if traceNs <= 0 || missNs <= 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: nonsense tracing report (%.1f ns trace tax, %.1f ns miss request)\n",
+			traceNs, missNs)
+		ok = false
+	}
+	if ok {
+		fmt.Printf("benchgate ok (%s): tracing tax %.0f ns/request = %.3f%% of a %.2f ms miss request (≤ %.0f%%)\n",
+			path, traceNs, 100*overhead, missNs/1e6, 100*maxTraceOverhead)
 	}
 	return ok
 }

@@ -37,13 +37,20 @@ import (
 // unexported there; the values are part of the frozen wire format, so
 // duplicating them here is safe).
 const (
-	opHello   = 0x01
-	opEval    = 0x02
-	opStats   = 0x03
-	opHelloOK = 0x81
-	opResult  = 0x82
-	opError   = 0x7f
+	opHello    = 0x01
+	opEval     = 0x02
+	opStats    = 0x03
+	opHello2   = 0x04
+	opEval2    = 0x05
+	opHelloOK  = 0x81
+	opResult   = 0x82
+	opHelloOK2 = 0x84
+	opError    = 0x7f
 )
+
+// traceContextSize mirrors trace.ContextSize: the 16-byte trace/span
+// prefix an opEval2 frame carries.
+const traceContextSize = 16
 
 func main() {
 	if err := run(); err != nil {
@@ -221,17 +228,46 @@ func writeWireCorpus(dir string) error {
 	helloOK[0] = opHelloOK
 	binary.LittleEndian.PutUint32(helloOK[1:], uint32(tb.NAll))
 
+	// Version-2 negotiation: the 18-byte hello2 (trailing max-version
+	// byte), its 6-byte acknowledgement, and an eval2 carrying the
+	// 16-byte trace context before the species bytes.
+	hello2 := make([]byte, 18)
+	copy(hello2, hello)
+	hello2[0] = opHello2
+	hello2[17] = 2
+
+	helloOK2 := make([]byte, 6)
+	helloOK2[0] = opHelloOK2
+	binary.LittleEndian.PutUint32(helloOK2[1:], uint32(tb.NAll))
+	helloOK2[5] = 2
+
+	eval2 := make([]byte, 1+traceContextSize+tb.NAll)
+	eval2[0] = opEval2
+	binary.LittleEndian.PutUint64(eval2[1:], 0xfeedc0dedeadbeef) // trace ID
+	binary.LittleEndian.PutUint64(eval2[9:], 0x0123456789abcdef) // span ID
+	eval2[1+traceContextSize+1] = 1
+
+	badVer := make([]byte, 18)
+	copy(badVer, hello2)
+	badVer[17] = 0xff // far past wireVMax: the server must clamp, not crash
+
 	seeds := map[string][]byte{
-		"hello":         frame(hello),
-		"hello-ok":      frame(helloOK),
-		"eval":          frame(eval),
-		"stats":         frame([]byte{opStats}),
-		"result":        frame(result),
-		"error-generic": frame(append([]byte{opError, 0x00}, "boom"...)),
-		"bad-empty":     {0, 0, 0, 0},
-		"bad-oversized": {0xff, 0xff, 0xff, 0xff, 1},
-		"bad-truncated": {4, 0, 0, 0, 1},
-		"session-pair":  append(frame(hello), frame([]byte{opStats})...),
+		"hello":          frame(hello),
+		"hello-ok":       frame(helloOK),
+		"hello2":         frame(hello2),
+		"hello2-ok":      frame(helloOK2),
+		"hello2-bad-ver": frame(badVer),
+		"eval":           frame(eval),
+		"eval2":          frame(eval2),
+		"eval2-torn":     frame(eval2[:1+traceContextSize/2]), // truncated trace context
+		"stats":          frame([]byte{opStats}),
+		"result":         frame(result),
+		"error-generic":  frame(append([]byte{opError, 0x00}, "boom"...)),
+		"bad-empty":      {0, 0, 0, 0},
+		"bad-oversized":  {0xff, 0xff, 0xff, 0xff, 1},
+		"bad-truncated":  {4, 0, 0, 0, 1},
+		"session-pair":   append(frame(hello), frame([]byte{opStats})...),
+		"session-pair2":  append(frame(hello2), frame(eval2)...),
 	}
 	for name, data := range seeds {
 		if err := writeSeed(dir, name, "[]byte", data); err != nil {
